@@ -1,0 +1,114 @@
+// Command lrcsim runs one (application, protocol) pair on the simulated
+// multiprocessor and prints its statistics: execution time, the
+// cpu/read/write/sync cycle breakdown, miss rate and classification, and
+// network traffic.
+//
+// Usage:
+//
+//	lrcsim -app mp3d -proto lrc -procs 64 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"lazyrc"
+	"lazyrc/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lrcsim: ")
+	var (
+		appName    = flag.String("app", "gauss", "application: "+strings.Join(lazyrc.AppNames(), ", "))
+		proto      = flag.String("proto", "lrc", "protocol: "+strings.Join(lazyrc.Protocols(), ", "))
+		procs      = flag.Int("procs", 64, "number of processors")
+		scale      = flag.String("scale", "small", "input scale: tiny, small, medium, paper")
+		future     = flag.Bool("future", false, "use the §4.3 future-machine parameters")
+		verify     = flag.Bool("verify", true, "verify the computation against a serial reference")
+		traceFile  = flag.String("trace", "", "write a JSON-lines protocol message trace to this file")
+		traceMax   = flag.Uint64("trace-max", 1_000_000, "cap on traced events")
+		contention = flag.Bool("contention", false, "print the per-resource contention report")
+		traffic    = flag.Bool("traffic", false, "print the per-message-kind traffic breakdown")
+	)
+	flag.Parse()
+
+	sc, err := lazyrc.ParseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := lazyrc.NewApp(*appName, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lazyrc.DefaultConfig(*procs)
+	if *future {
+		cfg = lazyrc.FutureConfig(*procs)
+	}
+
+	var tr *trace.Tracer
+	m, err := lazyrc.NewMachine(cfg, *proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr = trace.New(f, trace.WithLimit(*traceMax))
+		tr.Attach(m)
+	}
+	app.Setup(m)
+	m.Run(app.Worker)
+	if *verify {
+		if verr := app.Verify(); verr != nil {
+			log.Fatalf("verification failed: %v", verr)
+		}
+	}
+	if tr != nil {
+		if terr := tr.Err(); terr != nil {
+			log.Fatal(terr)
+		}
+		fmt.Fprintf(os.Stderr, "traced %d events to %s\n", tr.Events(), *traceFile)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 8, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintf(w, "application\t%s (%s)\n", app.Name(), sc)
+	fmt.Fprintf(w, "protocol\t%s\n", *proto)
+	fmt.Fprintf(w, "processors\t%d\n", *procs)
+	fmt.Fprintf(w, "execution time\t%d cycles\n", m.Stats.ExecutionTime())
+	cpu, rd, wr, sy := m.Stats.Aggregate()
+	total := cpu + rd + wr + sy
+	fmt.Fprintf(w, "aggregate cycles\t%d\n", total)
+	if total > 0 {
+		fmt.Fprintf(w, "  cpu\t%d (%.1f%%)\n", cpu, 100*float64(cpu)/float64(total))
+		fmt.Fprintf(w, "  read stall\t%d (%.1f%%)\n", rd, 100*float64(rd)/float64(total))
+		fmt.Fprintf(w, "  write stall\t%d (%.1f%%)\n", wr, 100*float64(wr)/float64(total))
+		fmt.Fprintf(w, "  sync stall\t%d (%.1f%%)\n", sy, 100*float64(sy)/float64(total))
+	}
+	fmt.Fprintf(w, "miss rate\t%.3f%%\n", 100*m.Stats.MissRate())
+	shares := m.Stats.MissShares()
+	fmt.Fprintf(w, "  cold/true/false/evict/write\t%.1f%% / %.1f%% / %.1f%% / %.1f%% / %.1f%%\n",
+		100*shares[lazyrc.Cold], 100*shares[lazyrc.TrueShare], 100*shares[lazyrc.FalseShare],
+		100*shares[lazyrc.Eviction], 100*shares[lazyrc.WriteMiss])
+	msgs, bytes := m.Net.Stats()
+	fmt.Fprintf(w, "network\t%d messages, %d payload bytes\n", msgs, bytes)
+	fmt.Fprintf(w, "shared footprint\t%d bytes\n", m.Footprint())
+	if *contention {
+		w.Flush()
+		fmt.Println()
+		fmt.Print(m.ContentionReport())
+	}
+	if *traffic {
+		w.Flush()
+		fmt.Println()
+		fmt.Print(m.TrafficReport())
+	}
+}

@@ -1,0 +1,135 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section: the system-parameter table (Table 1), the
+// miss-classification and miss-rate tables (Tables 2 and 3, printed as
+// "Figure 2/3" in the text), the normalized-execution-time and
+// overhead-breakdown figures on the default machine (Figures 4-7) and the
+// future machine (Figures 8-9), the §4.3 sensitivity sweeps, and the
+// §4.2 mp3d quality-of-solution check.
+//
+// Usage:
+//
+//	paperbench [-scale small] [-procs 64] [targets...]
+//
+// Targets: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 sweep
+// mp3dquality all (default: all); extensions: ablate, scaling, dsm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lazyrc"
+	"lazyrc/internal/apps"
+	"lazyrc/internal/config"
+	"lazyrc/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	var (
+		scaleFlag = flag.String("scale", "small", "input scale: tiny, small, medium, paper")
+		procs     = flag.Int("procs", 64, "number of processors")
+		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		jsonOut   = flag.String("json", "", "also write a machine-readable report to this file")
+	)
+	flag.Parse()
+
+	scale, err := lazyrc.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+
+	e := exp.NewEvaluator(scale, *procs)
+	var progress func(string)
+	if !*quiet {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		e.Progress = progress
+	}
+
+	start := time.Now()
+	emit := func(name, body string) {
+		fmt.Println(body)
+	}
+
+	if all || want["table1"] {
+		emit("table1", exp.Table1(config.Default(*procs)))
+	}
+	if all || want["table2"] {
+		emit("table2", exp.Table2(e))
+	}
+	if all || want["table3"] {
+		emit("table3", exp.Table3(e))
+	}
+	if all || want["fig4"] {
+		emit("fig4", exp.Fig4(e))
+	}
+	if all || want["fig5"] {
+		emit("fig5", exp.Fig5(e))
+	}
+	if all || want["fig6"] {
+		emit("fig6", exp.Fig6(e))
+	}
+	if all || want["fig7"] {
+		emit("fig7", exp.Fig7(e))
+	}
+	if all || want["fig8"] {
+		emit("fig8", exp.Fig8(e))
+	}
+	if all || want["fig9"] {
+		emit("fig9", exp.Fig9(e))
+	}
+	if all || want["sweep"] {
+		for _, sw := range exp.Sweeps() {
+			emit("sweep", exp.RunSweep(scale, *procs, sw, progress))
+		}
+	}
+	if all || want["mp3dquality"] {
+		emit("mp3dquality", exp.Mp3dQuality(scale, *procs))
+	}
+	if want["ablate"] {
+		for _, ab := range exp.Ablations() {
+			emit("ablate", exp.RunAblation(scale, *procs, ab, progress))
+		}
+	}
+	if want["dsm"] {
+		emit("dsm", exp.LazierUnderSoftwareCoherence(scale, *procs, "locusroute", progress))
+	}
+	if want["scaling"] {
+		for _, app := range []string{"mp3d", "blu", "gauss"} {
+			emit("scaling", exp.RunScaling(scale, app, exp.ScalingCounts, progress))
+		}
+	}
+
+	if err := e.VerifyAll(); err != nil {
+		log.Fatalf("a run failed verification: %v", err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs (scale %s, %d procs)\n",
+			time.Since(start).Seconds(), apps.Scale(scale), *procs)
+	}
+}

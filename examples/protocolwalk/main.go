@@ -1,0 +1,75 @@
+// Protocolwalk traces the lazy protocol through the weak-state lifecycle
+// of §2 of the paper on a 4-node machine: a block is read by everyone,
+// written by two processors (weak transition, write notices, home-side
+// acknowledgement collection), and finally invalidated at the writers'
+// next acquire, reverting toward shared/uncached.
+//
+// This example peeks beneath the public API (internal/mesh message
+// taps and internal/directory state) — it is a teaching tool for the
+// protocol, not a template for applications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/protocol"
+)
+
+func main() {
+	cfg := config.Default(4)
+	cfg.CheckInvariants = true
+	m, err := machine.New(cfg, "lrc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a := m.AllocF64(2)
+	block := a.At(0) / uint64(cfg.LineSize)
+	home := m.Env.HomeOf(block)
+	lock := m.NewLock()
+	bar := m.NewBarrier(4)
+
+	m.Net.Trace = func(msg mesh.Msg) {
+		if msg.Addr != block {
+			return
+		}
+		fmt.Printf("%7d  %d -> %d  %-12v\n", m.Eng.Now(), msg.Src, msg.Dst, protocol.MsgKind(msg.Kind))
+	}
+	state := func(label string) {
+		e := m.Nodes[home].Dir.Peek(block)
+		if e == nil {
+			fmt.Printf("          [%s] block %d: no directory entry yet\n", label, block)
+			return
+		}
+		fmt.Printf("          [%s] block %d at home %d: %v (%d sharers, %d writers)\n",
+			label, block, home, e.State, e.Sharers.Len(), e.Writers.Len())
+	}
+
+	fmt.Println("cycle     message                    (block", block, ", home node", home, ")")
+	m.Run(func(p *machine.Proc) {
+		p.ReadF64(a.At(0)) // every node becomes a sharer
+		p.Barrier(bar)
+		if p.ID() == 0 {
+			state("all read")
+		}
+		if p.ID() <= 1 {
+			p.WriteF64(a.At(p.ID()), 1.0) // two writers: weak transition
+		}
+		p.Compute(4000) // let notices and acks settle
+		p.Barrier(bar)
+		if p.ID() == 0 {
+			state("two writers")
+		}
+		p.Acquire(lock) // acquire processes the pending invalidations
+		p.Release(lock)
+		p.Compute(4000)
+		p.Barrier(bar)
+		if p.ID() == 0 {
+			state("after acquires")
+		}
+	})
+}

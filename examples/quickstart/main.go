@@ -1,0 +1,56 @@
+// Quickstart: build a 16-processor machine running the lazy protocol,
+// run a lock-protected shared counter plus a barrier-phased vector sum,
+// and print the timing statistics the simulator collects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazyrc"
+)
+
+func main() {
+	cfg := lazyrc.DefaultConfig(16)
+	m, err := lazyrc.NewMachine(cfg, "lrc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 4096
+	vec := m.AllocF64(n)
+	partial := m.AllocF64(16)
+	total := m.AllocF64(1)
+	lock := m.NewLock()
+	bar := m.NewBarrier(16)
+
+	for i := 0; i < n; i++ {
+		vec.Poke(i, float64(i%7))
+	}
+
+	m.Run(func(p *lazyrc.Proc) {
+		me, np := p.ID(), p.NProcs()
+		// Phase 1: each processor sums its contiguous chunk.
+		sum := 0.0
+		for i := me * n / np; i < (me+1)*n/np; i++ {
+			sum += p.ReadF64(vec.At(i))
+			p.Compute(1)
+		}
+		p.WriteF64(partial.At(me), sum)
+		p.Barrier(bar)
+
+		// Phase 2: fold the partials into a lock-protected total.
+		p.Acquire(lock)
+		p.WriteF64(total.At(0), p.ReadF64(total.At(0))+p.ReadF64(partial.At(me)))
+		p.Release(lock)
+		p.Barrier(bar)
+	})
+
+	fmt.Printf("total          = %v (want %v)\n", total.Peek(0), 4096/7*21)
+	fmt.Printf("execution time = %d cycles\n", m.Stats.ExecutionTime())
+	cpu, rd, wr, sy := m.Stats.Aggregate()
+	fmt.Printf("aggregate      = cpu %d, read %d, write %d, sync %d cycles\n", cpu, rd, wr, sy)
+	fmt.Printf("miss rate      = %.3f%%\n", 100*m.Stats.MissRate())
+	msgs, bytes := m.Net.Stats()
+	fmt.Printf("network        = %d messages, %d payload bytes\n", msgs, bytes)
+}

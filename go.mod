@@ -1,0 +1,3 @@
+module lazyrc
+
+go 1.22

@@ -1,0 +1,338 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"lazyrc/internal/machine"
+)
+
+// memIO is the access interface shared by simulated processors
+// (machine.Proc) and the untimed serial-reference accessor
+// (machine.Direct): workload logic is written once against it, so the
+// reference computation is bit-identical by construction.
+type memIO interface {
+	ReadF64(machine.Addr) float64
+	WriteF64(machine.Addr, float64)
+	ReadI64(machine.Addr) int64
+	WriteI64(machine.Addr, int64)
+	Compute(uint64)
+}
+
+// Barnes is the Barnes-Hut N-body simulation (4K bodies, 4 steps in the
+// paper), here in two dimensions: each step, processor 0 builds the
+// quadtree over the shared body array; after a barrier every processor
+// computes forces on its contiguous chunk of bodies by tree traversal,
+// then integrates them; a lock-protected global kinetic-energy reduction
+// provides the migratory data whose handling gives the lazy protocol its
+// synchronization-time win (§4.2).
+type Barnes struct {
+	nb, steps int
+	theta     float64
+
+	x, y, vx, vy, mass, fx, fy machine.F64
+
+	// Quadtree (built fresh each step): node t has weighted center-of-
+	// mass accumulators (wmass, wx, wy), cell geometry (cx, cy, half),
+	// and four child slots: 0 empty, +v internal node v-1, -v leaf body
+	// v-1.
+	wmass, wx, wy, cx, cy, half machine.F64
+	child                       machine.I64
+	nnodes                      machine.I64 // [0] = allocated node count
+	maxNodes                    int
+
+	energy machine.F64 // lock-protected global reduction
+	elock  *machine.Lock
+	bar    *machine.Barrier
+
+	wantX, wantY []float64
+	wantEnergy   float64
+}
+
+// NewBarnes returns the workload at the given scale.
+func NewBarnes(scale Scale) *Barnes {
+	type sz struct{ nb, steps int }
+	s := map[Scale]sz{
+		Tiny:   {48, 2},
+		Small:  {128, 2},
+		Medium: {512, 3},
+		Paper:  {4096, 4},
+	}[scale]
+	return &Barnes{nb: s.nb, steps: s.steps, theta: 0.6}
+}
+
+// Name returns "barnes-hut".
+func (b *Barnes) Name() string { return "barnes-hut" }
+
+// Setup allocates bodies and tree storage and runs the untimed serial
+// reference to record the expected trajectories.
+func (b *Barnes) Setup(m *machine.Machine) {
+	nb := b.nb
+	b.maxNodes = 8*nb + 64
+	alloc := func(n int) machine.F64 { return m.AllocF64(n) }
+	b.x, b.y = alloc(nb), alloc(nb)
+	b.vx, b.vy = alloc(nb), alloc(nb)
+	b.mass = alloc(nb)
+	b.fx, b.fy = alloc(nb), alloc(nb)
+	b.wmass, b.wx, b.wy = alloc(b.maxNodes), alloc(b.maxNodes), alloc(b.maxNodes)
+	b.cx, b.cy, b.half = alloc(b.maxNodes), alloc(b.maxNodes), alloc(b.maxNodes)
+	b.child = m.AllocI64(4 * b.maxNodes)
+	b.nnodes = m.AllocI64(1)
+	b.energy = m.AllocF64(1)
+	b.elock = m.NewLock()
+	b.bar = m.NewBarrier(m.Cfg.Procs)
+
+	rng := lcg(31337)
+	for i := 0; i < nb; i++ {
+		b.x.Poke(i, rng.f64()*100-50)
+		b.y.Poke(i, rng.f64()*100-50)
+		b.vx.Poke(i, rng.f64()-0.5)
+		b.vy.Poke(i, rng.f64()-0.5)
+		b.mass.Poke(i, 0.5+rng.f64())
+	}
+
+	// Serial reference over the same arrays, then restore initial state.
+	snap := m.SnapshotData()
+	d := m.Direct()
+	for s := 0; s < b.steps; s++ {
+		b.buildTree(d)
+		for i := 0; i < nb; i++ {
+			b.force(d, i)
+		}
+		for i := 0; i < nb; i++ {
+			b.integrate(d, i)
+		}
+		b.wantEnergy = b.reduceEnergySerial(m)
+	}
+	b.wantX = make([]float64, nb)
+	b.wantY = make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		b.wantX[i] = m.PeekF64(b.x.At(i))
+		b.wantY[i] = m.PeekF64(b.y.At(i))
+	}
+	m.RestoreData(snap)
+}
+
+func (b *Barnes) reduceEnergySerial(m *machine.Machine) float64 {
+	e := 0.0
+	for i := 0; i < b.nb; i++ {
+		vx, vy := m.PeekF64(b.vx.At(i)), m.PeekF64(b.vy.At(i))
+		e += 0.5 * m.PeekF64(b.mass.At(i)) * (vx*vx + vy*vy)
+	}
+	return e
+}
+
+// buildTree constructs the quadtree over all bodies (run by processor 0).
+func (b *Barnes) buildTree(io memIO) {
+	// Bounding square.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < b.nb; i++ {
+		x := io.ReadF64(b.x.At(i))
+		y := io.ReadF64(b.y.At(i))
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		io.Compute(4)
+	}
+	side := math.Max(maxX-minX, maxY-minY) + 1e-9
+
+	// Root node 0.
+	io.WriteI64(b.nnodes.At(0), 1)
+	b.initNode(io, 0, (minX+maxX)/2, (minY+maxY)/2, side/2)
+
+	for i := 0; i < b.nb; i++ {
+		b.insert(io, i)
+	}
+}
+
+func (b *Barnes) initNode(io memIO, t int, cx, cy, half float64) {
+	io.WriteF64(b.cx.At(t), cx)
+	io.WriteF64(b.cy.At(t), cy)
+	io.WriteF64(b.half.At(t), half)
+	io.WriteF64(b.wmass.At(t), 0)
+	io.WriteF64(b.wx.At(t), 0)
+	io.WriteF64(b.wy.At(t), 0)
+	for q := 0; q < 4; q++ {
+		io.WriteI64(b.child.At(t*4+q), 0)
+	}
+}
+
+// quadrant returns the child index of (x,y) within node t and that
+// child's cell center.
+func (b *Barnes) quadrant(io memIO, t int, x, y float64) (q int, qx, qy, qh float64) {
+	cx := io.ReadF64(b.cx.At(t))
+	cy := io.ReadF64(b.cy.At(t))
+	h := io.ReadF64(b.half.At(t)) / 2
+	q = 0
+	qx, qy, qh = cx-h, cy-h, h
+	if x >= cx {
+		q |= 1
+		qx = cx + h
+	}
+	if y >= cy {
+		q |= 2
+		qy = cy + h
+	}
+	io.Compute(4)
+	return
+}
+
+func (b *Barnes) insert(io memIO, body int) {
+	x := io.ReadF64(b.x.At(body))
+	y := io.ReadF64(b.y.At(body))
+	mass := io.ReadF64(b.mass.At(body))
+	t := 0
+	for {
+		// Accumulate the subtree's weighted center of mass on the way
+		// down.
+		io.WriteF64(b.wmass.At(t), io.ReadF64(b.wmass.At(t))+mass)
+		io.WriteF64(b.wx.At(t), io.ReadF64(b.wx.At(t))+mass*x)
+		io.WriteF64(b.wy.At(t), io.ReadF64(b.wy.At(t))+mass*y)
+		io.Compute(6)
+
+		q, qx, qy, qh := b.quadrant(io, t, x, y)
+		slot := b.child.At(t*4 + q)
+		c := io.ReadI64(slot)
+		switch {
+		case c == 0: // empty: place the body
+			io.WriteI64(slot, -int64(body)-1)
+			return
+		case c > 0: // internal: descend
+			t = int(c) - 1
+		default: // leaf: split the cell and push the resident down
+			other := int(-c) - 1
+			nn := int(io.ReadI64(b.nnodes.At(0)))
+			if nn >= b.maxNodes {
+				panic("barnes-hut: quadtree node budget exceeded")
+			}
+			io.WriteI64(b.nnodes.At(0), int64(nn+1))
+			b.initNode(io, nn, qx, qy, qh)
+			// Seed the new cell with the displaced body.
+			om := io.ReadF64(b.mass.At(other))
+			ox := io.ReadF64(b.x.At(other))
+			oy := io.ReadF64(b.y.At(other))
+			io.WriteF64(b.wmass.At(nn), om)
+			io.WriteF64(b.wx.At(nn), om*ox)
+			io.WriteF64(b.wy.At(nn), om*oy)
+			oq, _, _, _ := b.quadrant(io, nn, ox, oy)
+			io.WriteI64(b.child.At(nn*4+oq), -int64(other)-1)
+			io.WriteI64(slot, int64(nn)+1)
+			t = nn
+		}
+	}
+}
+
+// force computes the gravitational force on body via tree traversal with
+// the opening criterion size/distance < theta.
+func (b *Barnes) force(io memIO, body int) {
+	x := io.ReadF64(b.x.At(body))
+	y := io.ReadF64(b.y.At(body))
+	var fx, fy float64
+	stack := []int64{1} // root, encoded +1
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c < 0 { // leaf body
+			j := int(-c) - 1
+			if j == body {
+				continue
+			}
+			jm := io.ReadF64(b.mass.At(j))
+			jx := io.ReadF64(b.x.At(j))
+			jy := io.ReadF64(b.y.At(j))
+			dx, dy := jx-x, jy-y
+			d2 := dx*dx + dy*dy + 1e-6
+			inv := jm / (d2 * math.Sqrt(d2))
+			fx += dx * inv
+			fy += dy * inv
+			io.Compute(12)
+			continue
+		}
+		t := int(c) - 1
+		wm := io.ReadF64(b.wmass.At(t))
+		if wm == 0 {
+			continue
+		}
+		comx := io.ReadF64(b.wx.At(t)) / wm
+		comy := io.ReadF64(b.wy.At(t)) / wm
+		dx, dy := comx-x, comy-y
+		d2 := dx*dx + dy*dy + 1e-6
+		size := io.ReadF64(b.half.At(t)) * 2
+		io.Compute(10)
+		if size*size < b.theta*b.theta*d2 {
+			inv := wm / (d2 * math.Sqrt(d2))
+			fx += dx * inv
+			fy += dy * inv
+			io.Compute(8)
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			cc := io.ReadI64(b.child.At(t*4 + q))
+			if cc != 0 {
+				stack = append(stack, cc)
+			}
+		}
+	}
+	io.WriteF64(b.fx.At(body), fx)
+	io.WriteF64(b.fy.At(body), fy)
+}
+
+// integrate advances one body by a leapfrog step.
+func (b *Barnes) integrate(io memIO, body int) {
+	const dt = 0.05
+	m := io.ReadF64(b.mass.At(body))
+	vx := io.ReadF64(b.vx.At(body)) + io.ReadF64(b.fx.At(body))/m*dt
+	vy := io.ReadF64(b.vy.At(body)) + io.ReadF64(b.fy.At(body))/m*dt
+	io.WriteF64(b.vx.At(body), vx)
+	io.WriteF64(b.vy.At(body), vy)
+	io.WriteF64(b.x.At(body), io.ReadF64(b.x.At(body))+vx*dt)
+	io.WriteF64(b.y.At(body), io.ReadF64(b.y.At(body))+vy*dt)
+	io.Compute(12)
+}
+
+// Worker runs the per-processor share of each time step.
+func (b *Barnes) Worker(p *machine.Proc) {
+	np, me := p.NProcs(), p.ID()
+	lo, hi := me*b.nb/np, (me+1)*b.nb/np
+	for s := 0; s < b.steps; s++ {
+		if me == 0 {
+			p.WriteF64(b.energy.At(0), 0)
+			b.buildTree(p)
+		}
+		p.Barrier(b.bar)
+		for i := lo; i < hi; i++ {
+			b.force(p, i)
+		}
+		p.Barrier(b.bar)
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			b.integrate(p, i)
+			vx, vy := p.ReadF64(b.vx.At(i)), p.ReadF64(b.vy.At(i))
+			local += 0.5 * p.ReadF64(b.mass.At(i)) * (vx*vx + vy*vy)
+			p.Compute(6)
+		}
+		// Migratory global reduction under a lock.
+		p.Acquire(b.elock)
+		p.WriteF64(b.energy.At(0), p.ReadF64(b.energy.At(0))+local)
+		p.Release(b.elock)
+		p.Barrier(b.bar)
+	}
+}
+
+// Verify compares final positions against the serial reference exactly
+// (the traversal order per body is identical) and the energy reduction
+// within floating-point reassociation tolerance.
+func (b *Barnes) Verify() error {
+	for i := 0; i < b.nb; i++ {
+		gx, gy := b.x.Peek(i), b.y.Peek(i)
+		if math.Abs(gx-b.wantX[i]) > 1e-9 || math.Abs(gy-b.wantY[i]) > 1e-9 {
+			return fmt.Errorf("barnes-hut: body %d at (%g,%g), want (%g,%g)",
+				i, gx, gy, b.wantX[i], b.wantY[i])
+		}
+	}
+	e := b.energy.Peek(0)
+	if math.Abs(e-b.wantEnergy) > 1e-6*math.Max(1, math.Abs(b.wantEnergy)) {
+		return fmt.Errorf("barnes-hut: energy %g, want %g", e, b.wantEnergy)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+// BLU is the blocked right-looking LU decomposition (no pivoting) of
+// Dackland et al., run on a 448×448 matrix in the paper. Blocks are
+// distributed 2-D block-cyclically; each step factors the diagonal
+// block, solves the row and column panels against it, and applies the
+// trailing-submatrix update, with barriers between phases. Block edges
+// that are not multiples of the line size make the panels a classic
+// false-sharing workload (24% of its misses in Table 2).
+type BLU struct {
+	n, b int
+	a    machine.F64
+	bar  *machine.Barrier
+
+	orig []float64
+}
+
+// NewBLU returns the workload at the given scale. Block widths are
+// chosen so block edges straddle cache lines (12 or 28 doubles = 96 or
+// 224 bytes against 128-byte lines), which is what gives blu its
+// characteristic false sharing: neighboring blocks owned by different
+// processors write disjoint words of shared lines.
+func NewBLU(scale Scale) *BLU {
+	type sz struct{ n, b int }
+	s := map[Scale]sz{
+		Tiny:   {36, 12},
+		Small:  {72, 12},
+		Medium: {144, 12},
+		Paper:  {448, 28},
+	}[scale]
+	return &BLU{n: s.n, b: s.b}
+}
+
+// Name returns "blu".
+func (l *BLU) Name() string { return "blu" }
+
+// Setup allocates and fills the matrix (diagonally dominant).
+func (l *BLU) Setup(m *machine.Machine) {
+	n := l.n
+	l.a = m.AllocF64(n * n)
+	l.bar = m.NewBarrier(m.Cfg.Procs)
+	l.orig = make([]float64, n*n)
+	rng := lcg(424242)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.f64() - 0.5
+			if i == j {
+				v += float64(n)
+			}
+			l.a.Poke(i*n+j, v)
+			l.orig[i*n+j] = v
+		}
+	}
+}
+
+func (l *BLU) at(i, j int) machine.Addr { return l.a.At(i*l.n + j) }
+
+// owner maps block (bi, bj) to a processor, 2-D block-cyclically over the
+// most-square processor grid.
+func (l *BLU) owner(bi, bj, np int) int {
+	pw, ph := config.MeshDims(np)
+	return (bi%ph)*pw + bj%pw
+}
+
+// Worker runs the blocked factorization.
+func (l *BLU) Worker(p *machine.Proc) {
+	n, b, np, me := l.n, l.b, p.NProcs(), p.ID()
+	nb := n / b
+	for k := 0; k < nb; k++ {
+		d := k * b
+		// Phase 1: factor the diagonal block (its owner, unblocked LU).
+		if l.owner(k, k, np) == me {
+			for kk := d; kk < d+b; kk++ {
+				piv := p.ReadF64(l.at(kk, kk))
+				for i := kk + 1; i < d+b; i++ {
+					f := p.ReadF64(l.at(i, kk)) / piv
+					p.Compute(4)
+					p.WriteF64(l.at(i, kk), f)
+					for j := kk + 1; j < d+b; j++ {
+						v := p.ReadF64(l.at(i, j)) - f*p.ReadF64(l.at(kk, j))
+						p.Compute(2)
+						p.WriteF64(l.at(i, j), v)
+					}
+				}
+			}
+		}
+		p.Barrier(l.bar)
+
+		// Phase 2: panel solves against the diagonal block.
+		for bi := k + 1; bi < nb; bi++ { // column panel: L(bi,k)
+			if l.owner(bi, k, np) != me {
+				continue
+			}
+			r := bi * b
+			for jj := d; jj < d+b; jj++ { // forward substitution order
+				piv := p.ReadF64(l.at(jj, jj))
+				for i := r; i < r+b; i++ {
+					f := p.ReadF64(l.at(i, jj)) / piv
+					p.Compute(4)
+					p.WriteF64(l.at(i, jj), f)
+					for j := jj + 1; j < d+b; j++ {
+						v := p.ReadF64(l.at(i, j)) - f*p.ReadF64(l.at(jj, j))
+						p.Compute(2)
+						p.WriteF64(l.at(i, j), v)
+					}
+				}
+			}
+		}
+		for bj := k + 1; bj < nb; bj++ { // row panel: U(k,bj)
+			if l.owner(k, bj, np) != me {
+				continue
+			}
+			c := bj * b
+			for kk := d; kk < d+b; kk++ {
+				for i := kk + 1; i < d+b; i++ {
+					f := p.ReadF64(l.at(i, kk)) // multiplier from diagonal block
+					for j := c; j < c+b; j++ {
+						v := p.ReadF64(l.at(i, j)) - f*p.ReadF64(l.at(kk, j))
+						p.Compute(2)
+						p.WriteF64(l.at(i, j), v)
+					}
+				}
+			}
+		}
+		p.Barrier(l.bar)
+
+		// Phase 3: trailing submatrix update A(bi,bj) -= L(bi,k)·U(k,bj).
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				if l.owner(bi, bj, np) != me {
+					continue
+				}
+				r, c := bi*b, bj*b
+				for i := r; i < r+b; i++ {
+					for kk := d; kk < d+b; kk++ {
+						f := p.ReadF64(l.at(i, kk))
+						for j := c; j < c+b; j++ {
+							v := p.ReadF64(l.at(i, j)) - f*p.ReadF64(l.at(kk, j))
+							p.Compute(2)
+							p.WriteF64(l.at(i, j), v)
+						}
+					}
+				}
+			}
+		}
+		p.Barrier(l.bar)
+	}
+}
+
+// Verify repeats the factorization serially in the same order.
+func (l *BLU) Verify() error {
+	n, b := l.n, l.b
+	nb := n / b
+	ref := append([]float64(nil), l.orig...)
+	at := func(i, j int) int { return i*n + j }
+	for k := 0; k < nb; k++ {
+		d := k * b
+		for kk := d; kk < d+b; kk++ {
+			for i := kk + 1; i < d+b; i++ {
+				f := ref[at(i, kk)] / ref[at(kk, kk)]
+				ref[at(i, kk)] = f
+				for j := kk + 1; j < d+b; j++ {
+					ref[at(i, j)] -= f * ref[at(kk, j)]
+				}
+			}
+		}
+		for bi := k + 1; bi < nb; bi++ {
+			r := bi * b
+			for jj := d; jj < d+b; jj++ {
+				for i := r; i < r+b; i++ {
+					f := ref[at(i, jj)] / ref[at(jj, jj)]
+					ref[at(i, jj)] = f
+					for j := jj + 1; j < d+b; j++ {
+						ref[at(i, j)] -= f * ref[at(jj, j)]
+					}
+				}
+			}
+		}
+		for bj := k + 1; bj < nb; bj++ {
+			c := bj * b
+			for kk := d; kk < d+b; kk++ {
+				for i := kk + 1; i < d+b; i++ {
+					f := ref[at(i, kk)]
+					for j := c; j < c+b; j++ {
+						ref[at(i, j)] -= f * ref[at(kk, j)]
+					}
+				}
+			}
+		}
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				r, c := bi*b, bj*b
+				for i := r; i < r+b; i++ {
+					for kk := d; kk < d+b; kk++ {
+						f := ref[at(i, kk)]
+						for j := c; j < c+b; j++ {
+							ref[at(i, j)] -= f * ref[at(kk, j)]
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < n*n; i++ {
+		got := l.a.Peek(i)
+		if math.Abs(got-ref[i]) > 1e-8*math.Max(1, math.Abs(ref[i])) {
+			return fmt.Errorf("blu: element %d = %g, want %g", i, got, ref[i])
+		}
+	}
+	return nil
+}

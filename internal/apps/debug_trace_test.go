@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/protocol"
+)
+
+// TestMp3dERCTrace is a diagnostic harness: it runs mp3d under ERC with a
+// message trace and, on deadlock, prints the tail of the trace for the
+// blocks that still have outstanding transactions.
+func TestMp3dERCTrace(t *testing.T) {
+	app := NewMp3d(Tiny)
+	cfg := config.Default(8)
+	cfg.CheckInvariants = true
+	m, err := machine.New(cfg, "erc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	m.Net.Trace = func(msg mesh.Msg) {
+		trace = append(trace, fmt.Sprintf("%7d %d->%d %-12v blk%-5d arg%d aux%d",
+			m.Eng.Now(), msg.Src, msg.Dst, protocol.MsgKind(msg.Kind), msg.Addr, msg.Arg, msg.Aux))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// Print the last messages mentioning the stuck block.
+			shown := 0
+			for i := len(trace) - 1; i >= 0 && shown < 60; i-- {
+				if containsBlk(trace[i], "blk64 ") {
+					t.Log(trace[i])
+					shown++
+				}
+			}
+			t.Fatalf("deadlock: %v", r)
+		}
+	}()
+	app.Setup(m)
+	m.Run(app.Worker)
+}
+
+func containsBlk(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

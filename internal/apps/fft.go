@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"lazyrc/internal/machine"
+)
+
+// FFT computes a one-dimensional FFT on n complex points (65536 in the
+// paper) with the transpose-based four-step organization the SPLASH
+// program uses: the signal is a √n × √n matrix of which each processor
+// owns a contiguous band of rows; processors FFT their own rows, join a
+// barrier, transpose by reading the other processors' rows and writing
+// their own, apply twiddle factors, and FFT rows again. All writes go to
+// processor-private, line-aligned rows, so fft has essentially no false
+// sharing (Table 2) — its communication is the true sharing of the
+// transpose reads. Because every processor's write requests for a block
+// arrive together at the barrier, fft is the one application where the
+// lazier protocol's deferred notices help (§4.3).
+type FFT struct {
+	n, side  int
+	re, im   machine.F64 // matrix A, row-major
+	tre, tim machine.F64 // matrix B, transpose target
+	bar      *machine.Barrier
+
+	wantRe, wantIm []float64
+}
+
+// NewFFT returns the workload at the given scale. Sizes are perfect
+// squares with power-of-two sides.
+func NewFFT(scale Scale) *FFT {
+	n := map[Scale]int{Tiny: 256, Small: 1024, Medium: 4096, Paper: 65536}[scale]
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	return &FFT{n: n, side: side}
+}
+
+// Name returns "fft".
+func (f *FFT) Name() string { return "fft" }
+
+// Setup allocates the matrices, fills the signal, and runs the untimed
+// serial reference.
+func (f *FFT) Setup(m *machine.Machine) {
+	f.re = m.AllocF64(f.n)
+	f.im = m.AllocF64(f.n)
+	f.tre = m.AllocF64(f.n)
+	f.tim = m.AllocF64(f.n)
+	f.bar = m.NewBarrier(m.Cfg.Procs)
+	rng := lcg(777)
+	for i := 0; i < f.n; i++ {
+		f.re.Poke(i, rng.f64()-0.5)
+		f.im.Poke(i, rng.f64()-0.5)
+	}
+
+	snap := m.SnapshotData()
+	d := m.Direct()
+	f.phases(d, 0, f.side) // serial reference: one worker owning all rows
+	f.wantRe = make([]float64, f.n)
+	f.wantIm = make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		f.wantRe[i] = f.tre.Peek(i)
+		f.wantIm[i] = f.tim.Peek(i)
+	}
+	m.RestoreData(snap)
+}
+
+// rowFFT runs an in-place radix-2 FFT over one row of a matrix through
+// the access interface.
+func (f *FFT) rowFFT(io memIO, re, im machine.F64, row int) {
+	s := f.side
+	base := row * s
+	bits := 0
+	for 1<<bits < s {
+		bits++
+	}
+	for i := 0; i < s; i++ {
+		j := reverseBits(i, bits)
+		if j > i {
+			ri := io.ReadF64(re.At(base + i))
+			rj := io.ReadF64(re.At(base + j))
+			io.WriteF64(re.At(base+i), rj)
+			io.WriteF64(re.At(base+j), ri)
+			ii := io.ReadF64(im.At(base + i))
+			ij := io.ReadF64(im.At(base + j))
+			io.WriteF64(im.At(base+i), ij)
+			io.WriteF64(im.At(base+j), ii)
+		}
+	}
+	for h := 1; h < s; h *= 2 {
+		ang := -math.Pi / float64(h)
+		for g := 0; g < s; g += 2 * h {
+			for o := 0; o < h; o++ {
+				i := base + g + o
+				j := i + h
+				wr, wi := math.Cos(ang*float64(o)), math.Sin(ang*float64(o))
+				io.Compute(20)
+				xr := io.ReadF64(re.At(i))
+				xi := io.ReadF64(im.At(i))
+				yr := io.ReadF64(re.At(j))
+				yi := io.ReadF64(im.At(j))
+				tr := yr*wr - yi*wi
+				ti := yr*wi + yi*wr
+				io.Compute(6)
+				io.WriteF64(re.At(i), xr+tr)
+				io.WriteF64(im.At(i), xi+ti)
+				io.WriteF64(re.At(j), xr-tr)
+				io.WriteF64(im.At(j), xi-ti)
+			}
+		}
+	}
+}
+
+// phases runs the four-step algorithm for the row band [lo, hi). The
+// caller provides barriers between phases through barrier; the serial
+// reference passes the full band and no barriers fire (one party).
+func (f *FFT) phases(io memIO, lo, hi int) {
+	s := f.side
+	// Step 1: FFT own rows of A.
+	for r := lo; r < hi; r++ {
+		f.rowFFT(io, f.re, f.im, r)
+	}
+	f.sync(io)
+	// Step 2: transpose A into B, reading columns (other processors'
+	// rows) and writing own rows; then apply twiddles in place.
+	for r := lo; r < hi; r++ {
+		for c := 0; c < s; c++ {
+			vr := io.ReadF64(f.re.At(c*s + r))
+			vi := io.ReadF64(f.im.At(c*s + r))
+			ang := -2 * math.Pi * float64(r) * float64(c) / float64(f.n)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			io.Compute(22)
+			io.WriteF64(f.tre.At(r*s+c), vr*wr-vi*wi)
+			io.WriteF64(f.tim.At(r*s+c), vr*wi+vi*wr)
+		}
+	}
+	f.sync(io)
+	// Step 3: FFT own rows of B.
+	for r := lo; r < hi; r++ {
+		f.rowFFT(io, f.tre, f.tim, r)
+	}
+	f.sync(io)
+}
+
+// sync joins the barrier when running simulated (Proc); the untimed
+// reference runs alone and skips it.
+func (f *FFT) sync(io memIO) {
+	if p, ok := io.(*machine.Proc); ok {
+		p.Barrier(f.bar)
+	}
+}
+
+// Worker runs the processor's row band.
+func (f *FFT) Worker(p *machine.Proc) {
+	np, me := p.NProcs(), p.ID()
+	lo, hi := me*f.side/np, (me+1)*f.side/np
+	f.phases(p, lo, hi)
+}
+
+// Verify compares the result (in bit-reversed-within-rows, transposed
+// order — the same order the reference produced) element-wise.
+func (f *FFT) Verify() error {
+	for i := 0; i < f.n; i++ {
+		if math.Abs(f.tre.Peek(i)-f.wantRe[i]) > 1e-9 ||
+			math.Abs(f.tim.Peek(i)-f.wantIm[i]) > 1e-9 {
+			return fmt.Errorf("fft: element %d = (%g,%g), want (%g,%g)",
+				i, f.tre.Peek(i), f.tim.Peek(i), f.wantRe[i], f.wantIm[i])
+		}
+	}
+	return nil
+}
+
+func reverseBits(x, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = r<<1 | (x>>b)&1
+	}
+	return r
+}

@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"fmt"
+
+	"lazyrc/internal/machine"
+)
+
+// Locus is a locusroute-style VLSI standard-cell router (the paper routes
+// the Primary2.grin circuit, 3029 wires; this implementation routes a
+// seeded synthetic netlist of comparable locality — see DESIGN.md). Each
+// wire is drawn from a lock-protected task queue, a sweep of L- and
+// Z-shaped candidate routes is costed against the shared congestion
+// grid, and the chosen route's cells are incremented — deliberately without synchronization,
+// exactly like the original program (§4.2 notes locusroute does not obey
+// the release-consistency model). The densely shared, word-granularity
+// grid makes this the second-highest false-sharing workload of Table 2.
+type Locus struct {
+	rows, cols, wires int
+
+	grid   machine.I64 // congestion: cells touched by routed wires
+	ex     machine.I64 // wire endpoints: x1,y1,x2,y2 quadruples
+	choice machine.I64 // chosen bend column per wire (+1; 0 = unrouted)
+	next   machine.I64
+	q      *machine.Lock
+
+	totalLen int // sum of route lengths (for the tolerance check)
+}
+
+// NewLocus returns the workload at the given scale.
+func NewLocus(scale Scale) *Locus {
+	type sz struct{ r, c, w int }
+	s := map[Scale]sz{
+		Tiny:   {16, 32, 48},
+		Small:  {32, 64, 300},
+		Medium: {64, 128, 1000},
+		Paper:  {64, 256, 3029},
+	}[scale]
+	return &Locus{rows: s.r, cols: s.c, wires: s.w}
+}
+
+// Name returns "locusroute".
+func (l *Locus) Name() string { return "locusroute" }
+
+func (l *Locus) cell(x, y int) machine.Addr { return l.grid.At(y*l.cols + x) }
+
+// Setup generates the netlist: wires with bounded spans, clustered the
+// way placed standard cells are.
+func (l *Locus) Setup(m *machine.Machine) {
+	l.grid = m.AllocI64(l.rows * l.cols)
+	l.ex = m.AllocI64(4 * l.wires)
+	l.choice = m.AllocI64(l.wires)
+	l.next = m.AllocI64(1)
+	l.q = m.NewLock()
+
+	rng := lcg(20097)
+	maxSpan := l.cols / 4
+	for w := 0; w < l.wires; w++ {
+		x1 := rng.intn(l.cols)
+		y1 := rng.intn(l.rows)
+		x2 := x1 + rng.intn(2*maxSpan+1) - maxSpan
+		y2 := y1 + rng.intn(l.rows/2+1) - l.rows/4
+		x2 = clamp(x2, 0, l.cols-1)
+		y2 = clamp(y2, 0, l.rows-1)
+		l.ex.Poke(4*w+0, int64(x1))
+		l.ex.Poke(4*w+1, int64(y1))
+		l.ex.Poke(4*w+2, int64(x2))
+		l.ex.Poke(4*w+3, int64(y2))
+		l.totalLen += abs(x2-x1) + abs(y2-y1) + 1
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// pathCells visits the cells of the Z-shaped candidate route that runs
+// horizontally at y1 from x1 to the bend column xm, vertically at xm,
+// then horizontally at y2 to x2. xm = x2 gives the horizontal-first L;
+// xm = x1 the vertical-first L. Every cell is visited exactly once.
+func pathCells(x1, y1, x2, y2, xm int, visit func(x, y int)) {
+	step := func(a, b int) int {
+		if a < b {
+			return 1
+		}
+		return -1
+	}
+	for x := x1; x != xm; x += step(x1, xm) {
+		visit(x, y1)
+	}
+	for y := y1; y != y2; y += step(y1, y2) {
+		visit(xm, y)
+	}
+	for x := xm; x != x2; x += step(xm, x2) {
+		visit(x, y2)
+	}
+	visit(x2, y2)
+}
+
+// bendCandidates returns the bend columns evaluated for a wire — the two
+// L routes plus interior Z bends, like the original router's cost-
+// function sweep over the channel.
+func bendCandidates(x1, x2 int) []int {
+	cands := []int{x2, x1}
+	if abs(x2-x1) >= 4 {
+		lo, hi := x1, x2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cands = append(cands, lo+(hi-lo)/3, lo+2*(hi-lo)/3)
+	}
+	return cands
+}
+
+// Worker routes wires drawn from the task queue.
+func (l *Locus) Worker(p *machine.Proc) {
+	for {
+		p.Acquire(l.q)
+		w := int(p.ReadI64(l.next.At(0)))
+		p.WriteI64(l.next.At(0), int64(w+1))
+		p.Release(l.q)
+		if w >= l.wires {
+			return
+		}
+		x1 := int(p.ReadI64(l.ex.At(4 * w)))
+		y1 := int(p.ReadI64(l.ex.At(4*w + 1)))
+		x2 := int(p.ReadI64(l.ex.At(4*w + 2)))
+		y2 := int(p.ReadI64(l.ex.At(4*w + 3)))
+
+		// Cost every candidate bend against the shared congestion grid
+		// (unsynchronized reads), as the original router sweeps its cost
+		// function across the channel.
+		cands := bendCandidates(x1, x2)
+		best, bestCost := cands[0], int64(1)<<62
+		for _, xm := range cands {
+			var cost int64
+			pathCells(x1, y1, x2, y2, xm, func(x, y int) {
+				cost += 1 + p.ReadI64(l.cell(x, y))
+				p.Compute(2)
+			})
+			if cost < bestCost {
+				best, bestCost = xm, cost
+			}
+		}
+		p.WriteI64(l.choice.At(w), int64(best)+1)
+
+		// Occupy the chosen route (unsynchronized read-modify-writes —
+		// the program's own data races).
+		pathCells(x1, y1, x2, y2, best, func(x, y int) {
+			p.WriteI64(l.cell(x, y), p.ReadI64(l.cell(x, y))+1)
+			p.Compute(1)
+		})
+	}
+}
+
+// Verify checks the structural outcome: every wire chose a route, the
+// grid is non-negative, and total occupancy is within the loss tolerance
+// that the program's intentional data races permit.
+func (l *Locus) Verify() error {
+	for w := 0; w < l.wires; w++ {
+		if c := l.choice.Peek(w); c < 1 || c > int64(l.cols) {
+			return fmt.Errorf("locusroute: wire %d unrouted (choice %d)", w, c)
+		}
+	}
+	var sum int64
+	for i := 0; i < l.rows*l.cols; i++ {
+		v := l.grid.Peek(i)
+		if v < 0 {
+			return fmt.Errorf("locusroute: negative occupancy at cell %d", i)
+		}
+		sum += v
+	}
+	if sum == 0 || sum > int64(l.totalLen) {
+		return fmt.Errorf("locusroute: total occupancy %d outside (0, %d]", sum, l.totalLen)
+	}
+	// Lost updates from the (intentional) races must stay modest.
+	if sum < int64(l.totalLen)*7/10 {
+		return fmt.Errorf("locusroute: occupancy %d lost more than 30%% of %d", sum, l.totalLen)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package apps
+
+import (
+	"fmt"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+// Run builds a machine with the given configuration and protocol,
+// executes the application on it, and verifies the result. The machine
+// is returned for statistics harvesting even when verification fails.
+func Run(cfg config.Config, protoName string, app App) (*machine.Machine, error) {
+	m, err := machine.New(cfg, protoName)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %w", err)
+	}
+	app.Setup(m)
+	m.Run(app.Worker)
+	if err := app.Verify(); err != nil {
+		return m, err
+	}
+	return m, nil
+}

@@ -1,0 +1,177 @@
+// Package directory implements the distributed directory state of the
+// simulated machine. The directory entry for a block lives at the block's
+// home node and records the block's global state — Uncached, Shared,
+// Dirty, or Weak — together with the set of processors caching it, which
+// of them are writing it, and which have been notified that the block has
+// entered the weak state (§2 of the paper). Two counters (sharers,
+// writers) are kept implicitly by the set representation.
+//
+// The package stores state and enforces invariants; the legal transitions
+// belong to the protocol implementations, which differ between eager and
+// lazy release consistency (the eager protocols never use Weak).
+package directory
+
+import "fmt"
+
+// State is the global state of a coherence block.
+type State uint8
+
+const (
+	// Uncached: no processor has a copy. Initial state of every block.
+	Uncached State = iota
+	// Shared: one or more processors cache the block; none writes it.
+	Shared
+	// Dirty: exactly one processor caches the block and is writing it.
+	Dirty
+	// Weak: two or more processors cache the block and at least one is
+	// writing it (lazy protocols only).
+	Weak
+)
+
+// String returns the state mnemonic.
+func (s State) String() string {
+	switch s {
+	case Uncached:
+		return "UNCACHED"
+	case Shared:
+		return "SHARED"
+	case Dirty:
+		return "DIRTY"
+	case Weak:
+		return "WEAK"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Entry is one block's directory record.
+type Entry struct {
+	State State
+	// Sharers is the set of processors holding a copy.
+	Sharers ProcSet
+	// Writers ⊆ Sharers is the set of processors writing the block
+	// (the per-pointer "writing" bit of the paper).
+	Writers ProcSet
+	// Notified ⊆ Sharers is the set of processors that have been sent a
+	// write notice for the current weak episode (the per-pointer
+	// "notified" bit).
+	Notified ProcSet
+
+	// PendingAcks counts outstanding write-notice acknowledgements the
+	// home is collecting for this block; WaitingWriters are the
+	// processors to acknowledge once collection completes.
+	PendingAcks    int
+	WaitingWriters []int
+}
+
+// Directory is the home-node side table for the blocks homed at one node.
+// Entries are created on first touch.
+type Directory struct {
+	nprocs  int
+	entries map[uint64]*Entry
+
+	// check enables invariant verification after mutations.
+	check bool
+}
+
+// New returns an empty directory for a machine with nprocs processors.
+func New(nprocs int, check bool) *Directory {
+	return &Directory{nprocs: nprocs, entries: make(map[uint64]*Entry), check: check}
+}
+
+// Entry returns the record for block, creating an Uncached entry on first
+// touch.
+func (d *Directory) Entry(block uint64) *Entry {
+	e := d.entries[block]
+	if e == nil {
+		e = &Entry{
+			Sharers:  NewProcSet(d.nprocs),
+			Writers:  NewProcSet(d.nprocs),
+			Notified: NewProcSet(d.nprocs),
+		}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// Peek returns the record for block without creating it.
+func (d *Directory) Peek(block uint64) *Entry { return d.entries[block] }
+
+// Len returns the number of blocks with directory records.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// Check verifies e's invariants if checking is enabled, panicking with a
+// description on violation. Protocols call it after each transition.
+func (d *Directory) Check(block uint64, e *Entry) {
+	if !d.check {
+		return
+	}
+	if err := e.Validate(); err != nil {
+		panic(fmt.Sprintf("directory: block %d: %v", block, err))
+	}
+}
+
+// Validate checks the entry's structural invariants.
+func (e *Entry) Validate() error {
+	ns, nw := e.Sharers.Len(), e.Writers.Len()
+	if !e.Writers.SubsetOf(&e.Sharers) {
+		return fmt.Errorf("writers not a subset of sharers (state %v)", e.State)
+	}
+	if !e.Notified.SubsetOf(&e.Sharers) {
+		return fmt.Errorf("notified not a subset of sharers (state %v)", e.State)
+	}
+	switch e.State {
+	case Uncached:
+		if ns != 0 || nw != 0 {
+			return fmt.Errorf("UNCACHED with %d sharers %d writers", ns, nw)
+		}
+	case Shared:
+		if ns < 1 || nw != 0 {
+			return fmt.Errorf("SHARED with %d sharers %d writers", ns, nw)
+		}
+	case Dirty:
+		if ns != 1 || nw != 1 {
+			return fmt.Errorf("DIRTY with %d sharers %d writers", ns, nw)
+		}
+	case Weak:
+		if ns < 2 || nw < 1 {
+			return fmt.Errorf("WEAK with %d sharers %d writers", ns, nw)
+		}
+	}
+	if e.PendingAcks < 0 {
+		return fmt.Errorf("negative pending acks %d", e.PendingAcks)
+	}
+	return nil
+}
+
+// Recompute derives the correct state from the sharer/writer sets after a
+// removal (acquire-time invalidation or eviction) and clears stale
+// notified bits when the block leaves Weak. It returns the new state.
+// This implements the paper's rule: "If a block no longer has any
+// processors writing it, it reverts to the shared state; if it has no
+// processors sharing it at all, it reverts to the uncached state."
+func (e *Entry) Recompute() State {
+	ns, nw := e.Sharers.Len(), e.Writers.Len()
+	switch {
+	case ns == 0:
+		e.State = Uncached
+	case nw == 0:
+		e.State = Shared
+	case ns == 1:
+		e.State = Dirty
+	default:
+		e.State = Weak
+	}
+	if e.State != Weak {
+		e.Notified.Clear()
+	}
+	return e.State
+}
+
+// Visit iterates all entries in unspecified order. Use only for
+// diagnostics and end-of-run invariant sweeps, never for simulated
+// behaviour (ordering nondeterminism).
+func (d *Directory) Visit(fn func(block uint64, e *Entry)) {
+	for b, e := range d.entries {
+		fn(b, e)
+	}
+}

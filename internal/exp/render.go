@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/stats"
+)
+
+// Table1 renders the system-constant table (Table 1 of the paper) for a
+// configuration.
+func Table1(c config.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: system parameters (%d processors)\n", c.Procs)
+	rows := []struct {
+		name  string
+		value string
+	}{
+		{"Cache line size", fmt.Sprintf("%d bytes", c.LineSize)},
+		{"Cache size", fmt.Sprintf("%d Kbytes direct-mapped", c.CacheSize>>10)},
+		{"Memory setup time", fmt.Sprintf("%d cycles", c.MemSetup)},
+		{"Memory bandwidth", fmt.Sprintf("%d bytes/cycle", c.MemBW)},
+		{"Bus bandwidth", fmt.Sprintf("%d bytes/cycle", c.BusBW)},
+		{"Network bandwidth", fmt.Sprintf("%d bytes/cycle (bidirectional)", c.NetBW)},
+		{"Switch node latency", fmt.Sprintf("%d cycles", c.SwitchLat)},
+		{"Wire latency", fmt.Sprintf("%d cycles", c.WireLat)},
+		{"Write notice processing", fmt.Sprintf("%d cycles", c.NoticeCost)},
+		{"LRC directory access cost", fmt.Sprintf("%d cycles", c.DirCostLRC)},
+		{"ERC directory access cost", fmt.Sprintf("%d cycles", c.DirCostERC)},
+		{"Write buffer entries", fmt.Sprintf("%d", c.WBEntries)},
+		{"Coalescing buffer entries", fmt.Sprintf("%d", c.CBEntries)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %s\n", r.name, r.value)
+	}
+	return b.String()
+}
+
+// Table2 renders the classification of misses under eager release
+// consistency (the paper's "Figure 2" table).
+func Table2(e *Evaluator) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: classification of misses under eager release consistency (%%)\n")
+	fmt.Fprintf(&b, "  %-12s %8s %8s %8s %9s %8s\n", "Application", "Cold", "True", "False", "Eviction", "Write")
+	for _, app := range AppOrder {
+		r := e.Get("default", app, "erc")
+		s := r.MissShares
+		fmt.Fprintf(&b, "  %-12s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %7.1f%%\n", app,
+			100*s[stats.Cold], 100*s[stats.TrueShare], 100*s[stats.FalseShare],
+			100*s[stats.Eviction], 100*s[stats.WriteMiss])
+	}
+	return b.String()
+}
+
+// Table3 renders the miss rates under the three relaxed implementations
+// (the paper's "Figure 3" table).
+func Table3(e *Evaluator) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: miss rates under eager, lazy, and lazy-ext release consistency\n")
+	fmt.Fprintf(&b, "  %-12s %8s %8s %9s\n", "Application", "Eager", "Lazy", "Lazy-ext")
+	for _, app := range AppOrder {
+		fmt.Fprintf(&b, "  %-12s %7.2f%% %7.2f%% %8.2f%%\n", app,
+			100*e.Get("default", app, "erc").MissRate,
+			100*e.Get("default", app, "lrc").MissRate,
+			100*e.Get("default", app, "lrc-ext").MissRate)
+	}
+	return b.String()
+}
+
+// bar renders v as an ASCII bar against a full-scale max, with a tick at
+// the sequentially consistent baseline (1.0).
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	fill := int(v / max * float64(width))
+	if fill > width {
+		fill = width
+	}
+	tick := int(1.0 / max * float64(width))
+	out := make([]byte, width)
+	for i := range out {
+		switch {
+		case i < fill:
+			out[i] = '='
+		case i == tick:
+			out[i] = '|'
+		default:
+			out[i] = ' '
+		}
+	}
+	return string(out)
+}
+
+// figTime renders a normalized-execution-time figure for a protocol set,
+// as numbers plus bars (the paper presents these as bar charts; the '|'
+// tick marks the sequentially consistent baseline).
+func figTime(e *Evaluator, cfgName, title string, protos []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(execution time normalized to sequential consistency = 1.00)\n", title)
+	const scaleMax = 1.25
+	for _, app := range AppOrder {
+		for i, p := range protos {
+			label := ""
+			if i == 0 {
+				label = app
+			}
+			v := e.Normalized(cfgName, app, p)
+			fmt.Fprintf(&b, "  %-12s %-8s %6.3f  %s\n", label, p, v, bar(v, scaleMax, 40))
+		}
+	}
+	return b.String()
+}
+
+// figOverhead renders an overhead-breakdown figure for a protocol set.
+func figOverhead(e *Evaluator, cfgName, title string, protos []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(aggregate cycles as %% of the sequentially consistent total)\n", title)
+	fmt.Fprintf(&b, "  %-12s %-8s %8s %8s %8s %8s %8s\n",
+		"Application", "Protocol", "CPU", "Read", "Write", "Sync", "Total")
+	for _, app := range AppOrder {
+		for _, p := range protos {
+			cpu, rd, wr, sy := e.OverheadShares(cfgName, app, p)
+			fmt.Fprintf(&b, "  %-12s %-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				app, p, 100*cpu, 100*rd, 100*wr, 100*sy, 100*(cpu+rd+wr+sy))
+		}
+	}
+	return b.String()
+}
+
+// Fig4 renders Figure 4: lazy vs. eager release consistency on the
+// default machine.
+func Fig4(e *Evaluator) string {
+	return figTime(e, "default",
+		"Figure 4: normalized execution time, lazy vs. eager release consistency",
+		[]string{"erc", "lrc"})
+}
+
+// Fig5 renders Figure 5: the overhead breakdown for lazy, eager, and SC.
+func Fig5(e *Evaluator) string {
+	return figOverhead(e, "default",
+		"Figure 5: overhead analysis for lazy-release, eager-release, and sequential consistency",
+		[]string{"lrc", "erc", "sc"})
+}
+
+// Fig6 renders Figure 6: the basic lazy protocol vs. its lazier variant.
+func Fig6(e *Evaluator) string {
+	return figTime(e, "default",
+		"Figure 6: normalized execution time, lazy vs. lazy-extended consistency",
+		[]string{"lrc", "lrc-ext"})
+}
+
+// Fig7 renders Figure 7: the overhead breakdown for the two lazy
+// variants against SC.
+func Fig7(e *Evaluator) string {
+	return figOverhead(e, "default",
+		"Figure 7: overhead analysis for lazy, lazy-extended, and sequential consistency",
+		[]string{"lrc", "lrc-ext", "sc"})
+}
+
+// Fig8 renders Figure 8: performance trends on the future machine
+// (40-cycle memory startup, 4 bytes/cycle bandwidth, 256-byte lines).
+func Fig8(e *Evaluator) string {
+	return figTime(e, "future",
+		"Figure 8: performance trends for lazy, lazier, and eager release consistency (future machine)",
+		[]string{"erc", "lrc", "lrc-ext"})
+}
+
+// Fig9 renders Figure 9: the future machine's overhead breakdown for all
+// four protocols.
+func Fig9(e *Evaluator) string {
+	return figOverhead(e, "future",
+		"Figure 9: performance trends, overhead analysis (future machine)",
+		[]string{"lrc", "lrc-ext", "erc", "sc"})
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lazyrc/internal/stats"
+)
+
+// Report is the machine-readable form of an evaluation: every memoized
+// run with its full measurements, keyed for downstream tooling (plotting,
+// regression tracking). Rendered by `paperbench -json`.
+type Report struct {
+	// Scale and Procs identify the evaluation point.
+	Scale string `json:"scale"`
+	Procs int    `json:"procs"`
+	// Runs are all (config, app, protocol) cells executed.
+	Runs []ReportRun `json:"runs"`
+}
+
+// ReportRun is one run's measurements.
+type ReportRun struct {
+	Config   string `json:"config"`
+	App      string `json:"app"`
+	Protocol string `json:"protocol"`
+
+	ExecCycles uint64 `json:"exec_cycles"`
+	// Normalized is execution time relative to the SC run of the same
+	// app and config (present when that run was also executed).
+	Normalized float64 `json:"normalized,omitempty"`
+
+	CPUCycles   uint64 `json:"cpu_cycles"`
+	ReadCycles  uint64 `json:"read_cycles"`
+	WriteCycles uint64 `json:"write_cycles"`
+	SyncCycles  uint64 `json:"sync_cycles"`
+
+	MissRatePct float64            `json:"miss_rate_pct"`
+	MissShares  map[string]float64 `json:"miss_shares_pct"`
+
+	NetworkMsgs  uint64 `json:"network_msgs"`
+	NetworkBytes uint64 `json:"network_bytes"`
+
+	Verified bool   `json:"verified"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Report assembles the machine-readable report from all memoized runs.
+func (e *Evaluator) Report() Report {
+	rep := Report{Scale: e.Scale.String(), Procs: e.Procs}
+	for _, r := range e.Runs() {
+		rr := ReportRun{
+			Config:     r.Config,
+			App:        r.App,
+			Protocol:   r.Proto,
+			ExecCycles: r.ExecTime,
+			CPUCycles:  r.CPU, ReadCycles: r.Read,
+			WriteCycles: r.Write, SyncCycles: r.Sync,
+			MissRatePct:  100 * r.MissRate,
+			NetworkMsgs:  r.Msgs,
+			NetworkBytes: r.Bytes,
+			Verified:     r.VerifyErr == nil,
+			MissShares:   map[string]float64{},
+		}
+		if r.VerifyErr != nil {
+			rr.Error = r.VerifyErr.Error()
+		}
+		for k := stats.MissKind(0); k < stats.NumMissKinds; k++ {
+			rr.MissShares[k.String()] = 100 * r.MissShares[k]
+		}
+		// Attach the normalized time when the SC baseline is memoized
+		// (without forcing new runs).
+		scKey := r.Config + "/" + r.App + "/sc"
+		if sc, ok := e.runs[scKey]; ok && sc.ExecTime > 0 {
+			rr.Normalized = float64(r.ExecTime) / float64(sc.ExecTime)
+		}
+		rep.Runs = append(rep.Runs, rr)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (e *Evaluator) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.Report()); err != nil {
+		return fmt.Errorf("exp: encoding report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/protocol"
+)
+
+// TestRacyCountersERC reproduces mp3d's unsynchronized cell tallies: all
+// processors read-modify-write the same block with no locks. The eager
+// protocol must chase ownership around without losing a grant.
+func TestRacyCountersERC(t *testing.T) {
+	for _, proto := range []string{"sc", "erc"} {
+		m := newTest(t, proto, 8, nil)
+		a := m.AllocI64(8)
+		trace := make([]string, 0, 4096)
+		if testing.Verbose() {
+			orig := m.Nodes // capture for homes
+			_ = orig
+			m.Net.Trace = func(msg mesh.Msg) {
+				trace = append(trace, fmt.Sprintf("%6d %d->%d %v blk%d arg%d aux%d",
+					m.Eng.Now(), msg.Src, msg.Dst, protocol.MsgKind(msg.Kind), msg.Addr, msg.Arg, msg.Aux))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					for _, l := range trace {
+						t.Log(l)
+					}
+					t.Fatalf("%s: %v", proto, r)
+				}
+			}()
+			m.Run(func(p *Proc) {
+				for i := 0; i < 50; i++ {
+					idx := (p.ID() + i) % 8
+					v := p.ReadI64(a.At(idx))
+					p.WriteI64(a.At(idx), v+1)
+					w := p.ReadI64(a.At(0)) // hot word everyone fights over
+					p.WriteI64(a.At(0), w+1)
+					p.Compute(uint64(p.ID()))
+				}
+			})
+		}()
+		if err := m.CheckQuiescent(); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package machine assembles the simulated multiprocessor: processor
+// nodes (CPU context, cache, write buffers, protocol processor, local
+// memory and bus), the mesh interconnect, a page-interleaved shared
+// address space with a real backing store, and the run loop that drives
+// per-processor workloads to completion.
+//
+// Timing and data are decoupled in the usual execution-driven-simulator
+// way: every shared access is played through the coherence protocol for
+// timing, while the datum itself lives in a single backing store, so
+// workloads perform real computation (and their results can be verified
+// against serial references).
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/protocol"
+	"lazyrc/internal/sim"
+	"lazyrc/internal/stats"
+)
+
+// Addr is a simulated shared-memory address (byte granularity).
+type Addr = uint64
+
+// Machine is one simulated multiprocessor.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   config.Config
+	Net   *mesh.Network
+	Env   *protocol.Env
+	Nodes []*protocol.Node
+	Stats *stats.Machine
+	Class *stats.Classifier
+
+	backing []byte
+	brk     Addr
+
+	nextSyncID   uint64
+	nextSyncHome int
+	protoName    string
+}
+
+// New builds a machine running the named protocol ("sc", "erc", "lrc",
+// "lrc-ext") with the given configuration.
+func New(cfg config.Config, protoName string) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net := mesh.New(eng, cfg)
+	st := stats.NewMachine(cfg.Procs)
+	cl := stats.NewClassifier(cfg.Procs, cfg.WordsPerLine())
+	env := &protocol.Env{Eng: eng, Net: net, Cfg: cfg, Stats: st, Class: cl}
+	m := &Machine{
+		Eng: eng, Cfg: cfg, Net: net, Env: env,
+		Stats: st, Class: cl, protoName: protoName,
+	}
+	m.Nodes = make([]*protocol.Node, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		p, err := protocol.New(protoName)
+		if err != nil {
+			return nil, err
+		}
+		m.Nodes[i] = protocol.NewNode(env, i, p)
+	}
+	env.Nodes = m.Nodes
+	return m, nil
+}
+
+// Protocol returns the protocol name this machine runs.
+func (m *Machine) Protocol() string { return m.protoName }
+
+// ---- Shared address space -------------------------------------------------
+
+// Alloc carves out n bytes of shared memory aligned to the machine word,
+// optionally padding to the next cache-line boundary first (pad avoids
+// artificial false sharing between independent allocations).
+func (m *Machine) Alloc(n int, padToLine bool) Addr {
+	if padToLine {
+		ls := Addr(m.Cfg.LineSize)
+		m.brk = (m.brk + ls - 1) / ls * ls
+	} else {
+		const w = Addr(config.WordSize)
+		m.brk = (m.brk + w - 1) / w * w
+	}
+	base := m.brk
+	m.brk += Addr(n)
+	if int(m.brk) > len(m.backing) {
+		grown := make([]byte, int(m.brk)*2)
+		copy(grown, m.backing)
+		m.backing = grown
+	}
+	return base
+}
+
+// Footprint returns the bytes of shared memory allocated so far.
+func (m *Machine) Footprint() uint64 { return m.brk }
+
+// SnapshotData copies the current shared-memory contents — used by
+// workloads that run an untimed serial reference over the same arrays
+// before the simulated run.
+func (m *Machine) SnapshotData() []byte {
+	return append([]byte(nil), m.backing[:m.brk]...)
+}
+
+// RestoreData restores shared memory from a SnapshotData copy.
+func (m *Machine) RestoreData(snap []byte) {
+	copy(m.backing, snap)
+	for i := len(snap); i < len(m.backing); i++ {
+		m.backing[i] = 0
+	}
+}
+
+// PeekF64 reads a float64 directly from shared memory (no simulation).
+func (m *Machine) PeekF64(a Addr) float64 { return math.Float64frombits(m.loadU64(a)) }
+
+// PokeF64 writes a float64 directly to shared memory (no simulation).
+func (m *Machine) PokeF64(a Addr, v float64) { m.storeU64(a, math.Float64bits(v)) }
+
+// PeekI64 reads an int64 directly from shared memory (no simulation).
+func (m *Machine) PeekI64(a Addr) int64 { return int64(m.loadU64(a)) }
+
+// PokeI64 writes an int64 directly to shared memory (no simulation).
+func (m *Machine) PokeI64(a Addr, v int64) { m.storeU64(a, uint64(v)) }
+
+// Direct returns an untimed accessor over this machine's shared memory,
+// satisfying the same access interface as Proc — workloads use it to run
+// serial reference computations with the exact same code.
+func (m *Machine) Direct() *Direct { return &Direct{m: m} }
+
+// Direct is the untimed shared-memory accessor returned by
+// Machine.Direct.
+type Direct struct{ m *Machine }
+
+// ReadF64 reads a float64 without simulation.
+func (d *Direct) ReadF64(a Addr) float64 { return d.m.PeekF64(a) }
+
+// WriteF64 writes a float64 without simulation.
+func (d *Direct) WriteF64(a Addr, v float64) { d.m.PokeF64(a, v) }
+
+// ReadI64 reads an int64 without simulation.
+func (d *Direct) ReadI64(a Addr) int64 { return d.m.PeekI64(a) }
+
+// WriteI64 writes an int64 without simulation.
+func (d *Direct) WriteI64(a Addr, v int64) { d.m.PokeI64(a, v) }
+
+// Compute is a no-op for the untimed accessor.
+func (d *Direct) Compute(uint64) {}
+
+func (m *Machine) loadU64(a Addr) uint64 {
+	return binary.LittleEndian.Uint64(m.backing[a : a+8])
+}
+
+func (m *Machine) storeU64(a Addr, v uint64) {
+	binary.LittleEndian.PutUint64(m.backing[a:a+8], v)
+}
+
+// F64 is a handle to a shared array of float64.
+type F64 struct {
+	m    *Machine
+	base Addr
+	n    int
+}
+
+// AllocF64 allocates a line-aligned shared float64 array.
+func (m *Machine) AllocF64(n int) F64 {
+	return F64{m: m, base: m.Alloc(n*8, true), n: n}
+}
+
+// At returns the address of element i.
+func (a F64) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("machine: F64 index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Addr(i)*8
+}
+
+// Len returns the element count.
+func (a F64) Len() int { return a.n }
+
+// Peek reads element i directly (no simulation) — for initialization and
+// verification only.
+func (a F64) Peek(i int) float64 { return math.Float64frombits(a.m.loadU64(a.At(i))) }
+
+// Poke writes element i directly (no simulation) — for initialization
+// before Run only.
+func (a F64) Poke(i int, v float64) { a.m.storeU64(a.At(i), math.Float64bits(v)) }
+
+// I64 is a handle to a shared array of int64.
+type I64 struct {
+	m    *Machine
+	base Addr
+	n    int
+}
+
+// AllocI64 allocates a line-aligned shared int64 array.
+func (m *Machine) AllocI64(n int) I64 {
+	return I64{m: m, base: m.Alloc(n*8, true), n: n}
+}
+
+// At returns the address of element i.
+func (a I64) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("machine: I64 index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Addr(i)*8
+}
+
+// Len returns the element count.
+func (a I64) Len() int { return a.n }
+
+// Peek reads element i directly (no simulation).
+func (a I64) Peek(i int) int64 { return int64(a.m.loadU64(a.At(i))) }
+
+// Poke writes element i directly (no simulation).
+func (a I64) Poke(i int, v int64) { a.m.storeU64(a.At(i), uint64(v)) }
+
+// ---- Synchronization objects ----------------------------------------------
+
+// Lock is a queue lock managed at a home node's protocol processor.
+type Lock struct {
+	home int
+	id   uint64
+}
+
+// Barrier is a centralized barrier for a fixed party count.
+type Barrier struct {
+	home    int
+	id      uint64
+	parties int
+}
+
+// Flag is a one-shot event (set once, wait many) — the producer/consumer
+// synchronization used by pivot-style algorithms.
+type Flag struct {
+	home int
+	id   uint64
+}
+
+func (m *Machine) nextSync() (home int, id uint64) {
+	home = m.nextSyncHome
+	m.nextSyncHome = (m.nextSyncHome + 1) % m.Cfg.Procs
+	id = m.nextSyncID
+	m.nextSyncID++
+	return
+}
+
+// NewLock allocates a lock homed round-robin across the machine.
+func (m *Machine) NewLock() *Lock {
+	h, id := m.nextSync()
+	return &Lock{home: h, id: id}
+}
+
+// NewBarrier allocates a barrier for the given party count.
+func (m *Machine) NewBarrier(parties int) *Barrier {
+	h, id := m.nextSync()
+	return &Barrier{home: h, id: id, parties: parties}
+}
+
+// NewFlag allocates a one-shot flag.
+func (m *Machine) NewFlag() Flag {
+	h, id := m.nextSync()
+	return Flag{home: h, id: id}
+}
+
+// NewFlags allocates n one-shot flags.
+func (m *Machine) NewFlags(n int) []Flag {
+	fs := make([]Flag, n)
+	for i := range fs {
+		fs[i] = m.NewFlag()
+	}
+	return fs
+}
+
+// ---- Run loop ---------------------------------------------------------------
+
+// Run executes worker on every processor until completion. Each worker
+// ends with an implicit release (flushing its write path) before its
+// finish time is recorded; Run returns after the machine fully quiesces.
+func (m *Machine) Run(worker func(p *Proc)) {
+	for i := range m.Nodes {
+		node := m.Nodes[i]
+		id := i
+		ctx := m.Eng.Spawn(fmt.Sprintf("cpu%d", id), func(c *sim.Context) {
+			p := &Proc{m: m, node: node, ctx: c}
+			worker(p)
+			p.syncNow()
+			node.Proto.Release(node)
+			node.PS.FinishTime = c.Now()
+		})
+		node.CPU = ctx
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("%v\n%s", r, m.DumpState()))
+		}
+	}()
+	m.Eng.Run()
+}
+
+// ContentionReport summarizes hardware-resource contention after a run:
+// for each resource class, total occupied cycles, total queueing delay
+// imposed on requesters, and the single most-contended node. Useful for
+// diagnosing hot homes (e.g. a task-queue counter's memory module).
+func (m *Machine) ContentionReport() string {
+	type row struct {
+		name         string
+		busy, waited uint64
+		worstNode    int
+		worstWaited  uint64
+	}
+	rows := []row{{name: "protocol processor"}, {name: "memory module"}, {name: "local bus"}, {name: "network ports"}}
+	for _, n := range m.Nodes {
+		for i, r := range []*sim.Resource{n.PP, n.Mem, n.Bus} {
+			rows[i].busy += r.Busy()
+			rows[i].waited += r.Waited()
+			if r.Waited() > rows[i].worstWaited {
+				rows[i].worstWaited = r.Waited()
+				rows[i].worstNode = n.ID
+			}
+		}
+		w := m.Net.PortWaited(n.ID)
+		rows[3].busy += m.Net.PortBusy(n.ID)
+		rows[3].waited += w
+		if w > rows[3].worstWaited {
+			rows[3].worstWaited = w
+			rows[3].worstNode = n.ID
+		}
+	}
+	s := fmt.Sprintf("%-20s %14s %14s   %s\n", "resource", "busy cycles", "queue delay", "hottest node")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-20s %14d %14d   node %d (%d cycles)\n",
+			r.name, r.busy, r.waited, r.worstNode, r.worstWaited)
+	}
+	return s
+}
+
+// DumpState renders per-node protocol state for deadlock diagnostics.
+func (m *Machine) DumpState() string {
+	s := ""
+	for _, n := range m.Nodes {
+		if d := n.Debug(); d != "" {
+			s += fmt.Sprintf("node %d: %s\n", n.ID, d)
+		}
+	}
+	return s
+}
+
+// CheckQuiescent verifies end-of-run invariants: every directory entry
+// validates, no transactions or buffered writes linger, and no
+// acknowledgements are outstanding. It returns the first violation.
+func (m *Machine) CheckQuiescent() error {
+	for _, n := range m.Nodes {
+		var err error
+		n.Dir.Visit(func(block uint64, e *directory.Entry) {
+			if err == nil {
+				if verr := e.Validate(); verr != nil {
+					err = fmt.Errorf("node %d block %d: %w", n.ID, block, verr)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if !n.WB.Empty() {
+			return fmt.Errorf("node %d: write buffer not empty at end of run", n.ID)
+		}
+		if !n.CB.Empty() {
+			return fmt.Errorf("node %d: coalescing buffer not empty at end of run", n.ID)
+		}
+	}
+	return nil
+}
+
+// TrafficReport renders the per-message-kind traffic of the run — the
+// lazy protocols' message-combining and notice batching show up directly
+// here, which is the software-DSM motivation the paper starts from.
+func (m *Machine) TrafficReport() string {
+	s := fmt.Sprintf("%-14s %12s\n", "message kind", "count")
+	for k := 0; k < protocol.NumMsgKinds(); k++ {
+		if c := m.Net.KindCount(k); c > 0 {
+			s += fmt.Sprintf("%-14s %12d\n", protocol.MsgKind(k).String(), c)
+		}
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package machine
+
+import (
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/protocol"
+	"lazyrc/internal/stats"
+)
+
+// TestFalseSharingPingPong is the headline behavioral difference: two
+// processors writing disjoint words of one block. Under ERC the block
+// ping-pongs (every burst re-misses); under LRC both hold writable
+// copies concurrently and misses stay near zero after startup.
+func TestFalseSharingPingPong(t *testing.T) {
+	const rounds = 20
+	missesFor := func(proto string) uint64 {
+		m := newTest(t, proto, 4, nil)
+		a := m.AllocF64(2) // same cache line
+		b := m.NewBarrier(4)
+		m.Run(func(p *Proc) {
+			if p.ID() > 1 {
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				p.WriteF64(a.At(p.ID()), float64(r))
+				p.Compute(500)
+			}
+			_ = b
+		})
+		return m.Stats.Procs[0].TotalMisses() + m.Stats.Procs[1].TotalMisses()
+	}
+	erc := missesFor("erc")
+	lrc := missesFor("lrc")
+	if lrc*3 > erc {
+		t.Errorf("false sharing: lrc misses = %d not ≪ erc misses = %d", lrc, erc)
+	}
+}
+
+// TestWeakStateLifecycle scripts the directory through the §2 state
+// diagram: two writers make a block weak; acquire-time invalidations
+// revert it toward uncached.
+func TestWeakStateLifecycle(t *testing.T) {
+	m := newTest(t, "lrc", 4, nil)
+	a := m.AllocF64(2)
+	l := m.NewLock()
+	b := m.NewBarrier(4)
+	block := a.At(0) / uint64(m.Cfg.LineSize)
+	home := m.Env.HomeOf(block)
+
+	var stateAfterWrites, stateAfterAcquires directory.State
+	m.Run(func(p *Proc) {
+		if p.ID() <= 1 {
+			p.WriteF64(a.At(p.ID()), 1.0) // both write the same block
+		}
+		// Let the write requests and notices reach the home; Compute does
+		// not carry acquire semantics, so pending invalidations stay put.
+		p.Compute(20000)
+		if p.ID() == 0 {
+			e := m.Nodes[home].Dir.Peek(block)
+			if e != nil {
+				stateAfterWrites = e.State
+			}
+		}
+		p.Barrier(b)
+		// Acquire/release forces pending invalidations to process.
+		p.Acquire(l)
+		p.Release(l)
+		p.Compute(20000) // let the invalidation notifications land
+		p.Barrier(b)
+		if p.ID() == 0 {
+			e := m.Nodes[home].Dir.Peek(block)
+			if e != nil {
+				stateAfterAcquires = e.State
+			}
+		}
+	})
+	if stateAfterWrites != directory.Weak {
+		t.Errorf("after two writers: state = %v, want WEAK", stateAfterWrites)
+	}
+	if stateAfterAcquires == directory.Weak {
+		t.Errorf("after acquires: state still WEAK")
+	}
+	if err := m.CheckQuiescent(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoticeCountsRecorded: a write to a block shared by readers sends a
+// notice to each of them under LRC.
+func TestNoticeCountsRecorded(t *testing.T) {
+	m := newTest(t, "lrc", 8, nil)
+	a := m.AllocF64(1)
+	b := m.NewBarrier(8)
+	m.Run(func(p *Proc) {
+		p.ReadF64(a.At(0)) // everyone becomes a sharer
+		p.Barrier(b)
+		if p.ID() == 0 {
+			p.WriteF64(a.At(0), 2.0) // weak transition: notices to 7 readers
+		}
+		p.Barrier(b)
+	})
+	var notices uint64
+	for i := range m.Stats.Procs {
+		notices += m.Stats.Procs[i].NoticesIn
+	}
+	if notices < 7 {
+		t.Errorf("notices processed = %d, want >= 7", notices)
+	}
+}
+
+// TestEvictionSweep walks a footprint larger than the cache; the
+// directory must stay exact through replacement hints, and the miss
+// classifier must attribute the re-walk to evictions.
+func TestEvictionSweep(t *testing.T) {
+	for _, proto := range []string{"sc", "erc", "lrc", "lrc-ext"} {
+		m := newTest(t, proto, 2, func(c *config.Config) {
+			c.CacheSize = 4 * c.LineSize // four lines
+		})
+		words := 16 * m.Cfg.LineSize / 8 // sixteen blocks
+		a := m.AllocF64(words)
+		m.Run(func(p *Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			wpl := m.Cfg.WordsPerLine()
+			for pass := 0; pass < 2; pass++ {
+				for blk := 0; blk < 16; blk++ {
+					p.WriteF64(a.At(blk*wpl), float64(blk))
+				}
+			}
+		})
+		ps := &m.Stats.Procs[0]
+		if ps.Misses[stats.Cold] != 16 {
+			t.Errorf("%s: cold misses = %d, want 16", proto, ps.Misses[stats.Cold])
+		}
+		if ps.Misses[stats.Eviction] != 16 {
+			t.Errorf("%s: eviction misses = %d, want 16", proto, ps.Misses[stats.Eviction])
+		}
+		if err := m.CheckQuiescent(); err != nil {
+			t.Errorf("%s: %v", proto, err)
+		}
+	}
+}
+
+// TestLRCExtDefersNotices: under the lazier protocol, taking write
+// permission on a read-only line sends nothing; the release pays instead.
+func TestLRCExtDefersNotices(t *testing.T) {
+	m := newTest(t, "lrc-ext", 4, nil)
+	a := m.AllocF64(1)
+	f := m.NewFlag()
+	l := m.NewLock()
+	var msgsAfterWrite, msgsAfterRelease uint64
+	m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 1:
+			p.ReadF64(a.At(0)) // other sharer exists, so a notice is due
+			p.SetFlag(f)
+		case 0:
+			p.WaitFlag(f)
+			p.ReadF64(a.At(0)) // fill read-only
+			before, _ := m.Net.Stats()
+			p.WriteF64(a.At(0), 9.9) // silent local upgrade
+			p.Compute(1)
+			after, _ := m.Net.Stats()
+			msgsAfterWrite = after - before
+			p.Acquire(l)
+			p.Release(l) // release posts the deferred notice
+			done, _ := m.Net.Stats()
+			msgsAfterRelease = done - after
+		}
+	})
+	if msgsAfterWrite != 0 {
+		t.Errorf("silent upgrade sent %d messages, want 0", msgsAfterWrite)
+	}
+	if msgsAfterRelease == 0 {
+		t.Error("release posted no messages; deferred notice lost")
+	}
+}
+
+// TestLRCWriteAfterReadTakesPermissionImmediately: the LRC write to a
+// read-only line upgrades locally without waiting — the paper's
+// "eliminates write-buffer stalls due to write-after-read" claim.
+func TestLRCWriteAfterReadTakesPermissionImmediately(t *testing.T) {
+	m := newTest(t, "lrc", 4, nil)
+	a := m.AllocF64(1)
+	m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		p.ReadF64(a.At(0))
+		st0 := m.Stats.Procs[0].WriteStall
+		p.WriteF64(a.At(0), 1.0)
+		if m.Stats.Procs[0].WriteStall != st0 {
+			t.Error("write-after-read stalled under LRC")
+		}
+	})
+	ps := &m.Stats.Procs[0]
+	if ps.Misses[stats.WriteMiss] != 1 {
+		t.Errorf("write-permission miss count = %d, want 1", ps.Misses[stats.WriteMiss])
+	}
+}
+
+// TestThreeHopEliminatedUnderLRC: reading a block dirty at a third node
+// is 3-hop under the eager protocols (home forwards to the owner) but
+// 2-hop under LRC (memory answers). The LRC read should be faster.
+func TestThreeHopEliminatedUnderLRC(t *testing.T) {
+	stallFor := func(proto string) uint64 {
+		m := newTest(t, proto, 64, nil)
+		a := m.AllocF64(1)
+		f := m.NewFlag()
+		m.Run(func(p *Proc) {
+			switch p.ID() {
+			case 7:
+				p.WriteF64(a.At(0), 3.0) // becomes dirty owner
+				p.SetFlag(f)             // release flushes write path
+			case 42:
+				p.WaitFlag(f)
+				before := m.Stats.Procs[42].ReadStall
+				p.ReadF64(a.At(0))
+				after := m.Stats.Procs[42].ReadStall
+				m.Stats.Procs[42].CPU = after - before // stash for harvest
+			}
+		})
+		return m.Stats.Procs[42].CPU
+	}
+	erc := stallFor("erc")
+	lrc := stallFor("lrc")
+	if lrc >= erc {
+		t.Errorf("read of dirty block: lrc stall %d >= erc stall %d (3-hop not eliminated)", lrc, erc)
+	}
+}
+
+// TestEagerForwardNackPathExercised: under write contention the eager
+// protocol's forwarded requests hit owners mid-fill and must NACK and
+// retry (the DASH discipline); the run must still complete with every
+// lock-protected increment intact.
+func TestEagerForwardNackPathExercised(t *testing.T) {
+	m := newTest(t, "erc", 8, nil)
+	a := m.AllocI64(2) // one hot block
+	l := m.NewLock()
+	const per = 12
+	m.Run(func(p *Proc) {
+		for i := 0; i < per; i++ {
+			// Unsynchronized RMWs create ownership ping-pong (and
+			// forwards that race fills) ...
+			p.WriteI64(a.At(1), p.ReadI64(a.At(1))+1)
+			// ... while a lock-protected counter checks correctness.
+			p.Acquire(l)
+			p.WriteI64(a.At(0), p.ReadI64(a.At(0))+1)
+			p.Release(l)
+		}
+	})
+	if got := a.Peek(0); got != 8*per {
+		t.Fatalf("locked counter = %d, want %d", got, 8*per)
+	}
+	fwd := m.Net.KindCount(int(protocol.MsgFwdWrite)) + m.Net.KindCount(int(protocol.MsgFwdRead))
+	if fwd == 0 {
+		t.Fatal("no ownership forwards occurred; contention scenario broken")
+	}
+	if m.Net.KindCount(int(protocol.MsgFwdNack)) == 0 {
+		t.Fatal("no forward NACKs occurred; the retry path went unexercised")
+	}
+	if err := m.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package mesh models the interconnect of the simulated multiprocessor: a
+// 2-D mesh with dimension-ordered (XY) routing, distance-dependent
+// latency, and network contention modeled at the sending and receiving
+// nodes of each message — but not at intermediate switches — exactly as in
+// §3 of the paper.
+//
+// A message from a node at distance h carrying p payload bytes is
+// delivered h*(switch+wire) + p/bandwidth cycles after it leaves the
+// sender's network interface. Control messages (p = 0) cost only the hop
+// latency, matching the paper's worked example: a 10-hop request costs
+// (2+1)*10 = 30 cycles and the 128-byte data reply (2+1)*10 + 128/2 = 94.
+package mesh
+
+import (
+	"fmt"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/sim"
+)
+
+// Network is the mesh interconnect. Deliver handlers are registered per
+// node; Send routes a message and schedules the destination handler.
+type Network struct {
+	eng    *sim.Engine
+	w, h   int
+	hopLat uint64 // switch + wire, per hop
+	bw     int    // bytes per cycle
+
+	in  []*sim.Resource // per-node receive ports
+	out []*sim.Resource // per-node send ports
+
+	handlers []func(Msg)
+
+	sent      uint64
+	bytesSent uint64
+	byKind    map[int]uint64
+
+	// LocalLoopback controls whether a node sending to itself still
+	// pays NIC and hop costs. Hardware handles node-local protocol
+	// operations without touching the network; keep false.
+	LocalLoopback bool
+
+	// Trace, when non-nil, observes every message at send time —
+	// debugging and the protocolwalk example.
+	Trace func(Msg)
+}
+
+// Msg is one network message. Protocol packages define the meaning of
+// Kind and the payload fields; the mesh only uses Src, Dst, and Size.
+type Msg struct {
+	Src, Dst int
+	Kind     int
+	Size     int // payload bytes (0 for control messages)
+
+	// Addr is the coherence block or synchronization object the message
+	// concerns.
+	Addr uint64
+	// Arg and Aux carry message-kind-specific scalars (directory state,
+	// word mask, object id, ...).
+	Arg uint64
+	Aux uint64
+}
+
+// New builds the mesh for the given configuration.
+func New(eng *sim.Engine, cfg config.Config) *Network {
+	w, h := config.MeshDims(cfg.Procs)
+	n := &Network{
+		eng:      eng,
+		w:        w,
+		h:        h,
+		hopLat:   cfg.SwitchLat + cfg.WireLat,
+		bw:       cfg.NetBW,
+		in:       make([]*sim.Resource, cfg.Procs),
+		out:      make([]*sim.Resource, cfg.Procs),
+		handlers: make([]func(Msg), cfg.Procs),
+	}
+	n.byKind = make(map[int]uint64)
+	for i := range n.in {
+		n.in[i] = sim.NewResource(fmt.Sprintf("nic-in%d", i))
+		n.out[i] = sim.NewResource(fmt.Sprintf("nic-out%d", i))
+	}
+	return n
+}
+
+// Handle registers the delivery handler for node id. Exactly one handler
+// per node; registering twice panics.
+func (n *Network) Handle(id int, fn func(Msg)) {
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("mesh: node %d handler registered twice", id))
+	}
+	n.handlers[id] = fn
+}
+
+// Hops returns the XY-routing distance between two nodes.
+func (n *Network) Hops(a, b int) uint64 {
+	ax, ay := a%n.w, a/n.w
+	bx, by := b%n.w, b/n.w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return uint64(dx + dy)
+}
+
+// Dims returns the mesh width and height.
+func (n *Network) Dims() (w, h int) { return n.w, n.h }
+
+// TransferCycles returns size/bandwidth rounded up — the serialization
+// time of a payload on a link, bus, or memory port at this network's
+// bandwidth.
+func (n *Network) TransferCycles(size int) uint64 {
+	if size <= 0 {
+		return 0
+	}
+	return uint64((size + n.bw - 1) / n.bw)
+}
+
+// Send routes m from m.Src to m.Dst: it acquires the sender's output
+// port, applies hop latency and payload streaming time, acquires the
+// receiver's input port, and schedules the destination's handler at the
+// delivery time. Node-local messages invoke the handler immediately
+// (hardware keeps local protocol transitions off the network) unless
+// LocalLoopback is set.
+func (n *Network) Send(m Msg) {
+	if n.handlers[m.Dst] == nil {
+		panic(fmt.Sprintf("mesh: no handler on node %d", m.Dst))
+	}
+	n.sent++
+	n.bytesSent += uint64(m.Size)
+	n.byKind[m.Kind]++
+	if n.Trace != nil {
+		n.Trace(m)
+	}
+	if m.Src == m.Dst && !n.LocalLoopback {
+		n.eng.At(n.eng.Now(), func() { n.handlers[m.Dst](m) })
+		return
+	}
+	ser := n.TransferCycles(m.Size)
+	occ := ser
+	if occ == 0 {
+		occ = 1 // control messages still occupy the port for one cycle
+	}
+	sendStart, _ := n.out[m.Src].Acquire(n.eng.Now(), occ)
+	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser
+	deliver := n.in[m.Dst].AcquireWindow(rawArrival, occ)
+	n.eng.At(deliver, func() { n.handlers[m.Dst](m) })
+}
+
+// Stats returns the total messages and payload bytes sent.
+func (n *Network) Stats() (msgs, bytes uint64) { return n.sent, n.bytesSent }
+
+// KindCount returns how many messages of the given protocol kind were
+// sent — the per-transaction-type traffic breakdown behind the paper's
+// message-reduction argument.
+func (n *Network) KindCount(kind int) uint64 { return n.byKind[kind] }
+
+// PortWaited returns the cumulative queueing delay observed at node id's
+// NIC ports — a contention indicator used by reports.
+func (n *Network) PortWaited(id int) uint64 {
+	return n.in[id].Waited() + n.out[id].Waited()
+}
+
+// PortBusy returns the cumulative occupancy of node id's NIC ports.
+func (n *Network) PortBusy(id int) uint64 {
+	return n.in[id].Busy() + n.out[id].Busy()
+}

@@ -1,0 +1,569 @@
+package protocol
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lazyrc/internal/cache"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/stats"
+)
+
+// This file implements the message handling shared by the two eager
+// protocols (ERC, in the style of the DASH implementation, and the
+// sequentially consistent baseline). The home-node logic is identical —
+// an ownership-based MSI directory with 3-hop forwarding — and only the
+// CPU side differs: ERC buffers writes and stalls at releases, SC stalls
+// on every write.
+//
+// Unlike the lazy protocols, a write to a shared block invalidates every
+// other sharer immediately; the home collects the invalidation
+// acknowledgements and only then grants ownership. Requests that arrive
+// for a block whose collection (or forwarding) is still in progress are
+// deferred and replayed afterwards.
+
+// eagerGrant records what the single waiting writer of a busy block is
+// owed when invalidation acknowledgements finish arriving.
+type eagerGrant struct {
+	writer   int
+	wantData bool
+}
+
+// eagerState is the per-node bookkeeping for the eager home side; it
+// lives on the Node but is only touched by these handlers.
+// xfer is a forwarded request whose service by the current owner is
+// pending. The home does not commit the directory change until the owner
+// confirms (XferDone) — a nacked transfer retries the original request
+// against then-current state — and defers all other requests for the
+// block meanwhile. This is the DASH-style discipline that keeps two
+// crossing ownership transfers from deadlocking or losing a copy.
+type xfer struct {
+	req      int
+	isWrite  bool
+	wantData bool
+}
+
+// pendingReq is a deferred request together with the completion time of
+// the memory access that was started speculatively when it first arrived.
+// The memory module is charged exactly once per request — re-charging on
+// every queue-service attempt would let the memory backlog outrun
+// simulated time under contention.
+type pendingReq struct {
+	m      mesh.Msg
+	memEnd uint64
+}
+
+type eagerState struct {
+	grants   map[uint64]eagerGrant
+	deferred map[uint64][]pendingReq
+	xfers    map[uint64]xfer
+	// servicing marks blocks whose deferred-queue head is being
+	// re-processed. Queue service is strictly FIFO: while a queue or the
+	// servicing mark exists, newly arriving requests join the back —
+	// without this, a re-serviced request re-enters the protocol
+	// processor behind fresh arrivals and can be starved indefinitely.
+	servicing map[uint64]bool
+}
+
+func (n *Node) eager() *eagerState {
+	if n.eagerHome == nil {
+		n.eagerHome = &eagerState{
+			grants:    make(map[uint64]eagerGrant),
+			deferred:  make(map[uint64][]pendingReq),
+			xfers:     make(map[uint64]xfer),
+			servicing: make(map[uint64]bool),
+		}
+	}
+	return n.eagerHome
+}
+
+// eagerDeliver dispatches one message for an eager-protocol node.
+func eagerDeliver(n *Node, m mesh.Msg) {
+	switch MsgKind(m.Kind) {
+	case MsgReadReq:
+		eagerHomeRead(n, m)
+	case MsgWriteReq:
+		eagerHomeWrite(n, m)
+	case MsgInvalAck:
+		eagerHomeInvalAck(n, m)
+	case MsgWriteBack:
+		eagerHomeWriteBack(n, m)
+	case MsgSharingWB:
+		n.memAccess(m.Size) // concurrent write-back; nobody waits
+	case MsgXferDone:
+		eagerXferDone(n, m)
+	case MsgFwdNack:
+		eagerFwdNack(n, m)
+	case MsgEvict:
+		homeDropCopy(n, m)
+	case MsgFwdRead, MsgFwdWrite:
+		eagerOwnerForward(n, m)
+	case MsgInval:
+		eagerInval(n, m)
+	case MsgReadReply:
+		eagerReadReply(n, m)
+	case MsgWriteData:
+		eagerWriteData(n, m)
+	case MsgWriteDone:
+		eagerWriteDone(n, m)
+	case MsgOwnerData:
+		eagerOwnerData(n, m)
+	case MsgWTAck:
+		n.wtPending--
+		n.checkDrain()
+	default:
+		panic(fmt.Sprintf("protocol: eager node %d got unexpected %v", n.ID, MsgKind(m.Kind)))
+	}
+}
+
+// eagerBusy reports whether block is mid-collection or mid-transfer.
+func eagerBusy(n *Node, block uint64) bool {
+	e := n.Dir.Peek(block)
+	if e == nil {
+		return false
+	}
+	es := n.eager()
+	_, collecting := es.grants[block]
+	_, transferring := es.xfers[block]
+	return collecting || transferring || e.PendingAcks > 0
+}
+
+// eagerAdmit decides whether a freshly arrived request may be processed
+// now; everything else joins the back of the block's queue, remembering
+// its already-started memory access.
+func eagerAdmit(n *Node, m mesh.Msg, memEnd uint64) bool {
+	es := n.eager()
+	if es.servicing[m.Addr] || eagerBusy(n, m.Addr) || len(es.deferred[m.Addr]) > 0 {
+		es.deferred[m.Addr] = append(es.deferred[m.Addr], pendingReq{m: m, memEnd: memEnd})
+		return false
+	}
+	return true
+}
+
+// eagerUnbusy pops the head of block's deferred queue — if the block has
+// fully quiesced — and services it directly: protocol-processor occupancy
+// is charged again (the directory is re-read), the memory access is not.
+// The servicing mark keeps fresh arrivals from jumping the queue.
+func eagerUnbusy(n *Node, block uint64) {
+	es := n.eager()
+	if es.servicing[block] || eagerBusy(n, block) {
+		return
+	}
+	q := es.deferred[block]
+	if len(q) == 0 {
+		return
+	}
+	p := q[0]
+	if len(q) == 1 {
+		delete(es.deferred, block)
+	} else {
+		es.deferred[block] = q[1:]
+	}
+	es.servicing[block] = true
+	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		delete(es.servicing, block)
+		memEnd := maxTime(p.memEnd, n.now())
+		if MsgKind(p.m.Kind) == MsgReadReq {
+			eagerProcessRead(n, p.m, memEnd)
+		} else {
+			eagerProcessWrite(n, p.m, memEnd)
+		}
+	})
+}
+
+// eagerHomeRead serves a read request: memory supplies clean data; dirty
+// blocks are forwarded to their owner (the 3-hop transaction the lazy
+// protocol eliminates).
+func eagerHomeRead(n *Node, m mesh.Msg) {
+	memEnd := n.memAccess(n.lineBytes())
+	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		if !eagerAdmit(n, m, memEnd) {
+			return
+		}
+		eagerProcessRead(n, m, memEnd)
+	})
+}
+
+// eagerProcessRead resolves an admitted read request against the current
+// directory state.
+func eagerProcessRead(n *Node, m mesh.Msg, memEnd uint64) {
+	e := n.Dir.Entry(m.Addr)
+	switch e.State {
+	case directory.Dirty:
+		owner := e.Writers.Only()
+		if owner != m.Src {
+			// Forward to the owner; it supplies the reader and writes
+			// the block back home concurrently. The directory commits
+			// when the owner confirms; the block is busy until then.
+			n.eager().xfers[m.Addr] = xfer{req: m.Src}
+			n.send(owner, MsgFwdRead, m.Addr, 0, uint64(m.Src), 0)
+			return
+		}
+		// The owner itself re-reads: its write-back must be in flight.
+		// Answer from memory.
+		e.Writers.Clear()
+		e.Recompute()
+		fallthrough
+	default:
+		e.Sharers.Add(m.Src)
+		e.Recompute()
+		n.Dir.Check(m.Addr, e)
+		st := uint64(e.State)
+		n.Env.Eng.At(maxTime(n.now(), memEnd), func() {
+			n.send(m.Src, MsgReadReply, m.Addr, n.lineBytes(), st, 0)
+		})
+		eagerUnbusy(n, m.Addr)
+	}
+}
+
+// eagerHomeWrite serves an ownership request: sharers are invalidated
+// immediately (their acknowledgements collected at the home), dirty
+// blocks are forwarded to the owner, and the requester becomes the sole
+// owner.
+func eagerHomeWrite(n *Node, m mesh.Msg) {
+	var memEnd uint64
+	if m.Arg&wantData != 0 {
+		memEnd = n.memAccess(n.lineBytes())
+	}
+	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		if !eagerAdmit(n, m, memEnd) {
+			return
+		}
+		eagerProcessWrite(n, m, memEnd)
+	})
+}
+
+// eagerProcessWrite resolves an admitted ownership request against the
+// current directory state.
+func eagerProcessWrite(n *Node, m mesh.Msg, memEnd uint64) {
+	wantsData := m.Arg&wantData != 0
+	e := n.Dir.Entry(m.Addr)
+	switch e.State {
+	case directory.Dirty:
+		owner := e.Writers.Only()
+		if owner == m.Src {
+			// The requester already owns the block at the directory
+			// (its copy died in a race it has not yet observed);
+			// complete with data so it can refill.
+			if wantsData {
+				at := maxTime(n.now(), memEnd)
+				n.Env.Eng.At(at, func() {
+					n.send(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+				})
+			} else {
+				n.send(m.Src, MsgWriteDone, m.Addr, 0, 0, 0)
+			}
+			eagerUnbusy(n, m.Addr)
+			return
+		}
+		// Transfer ownership through the current owner; the directory
+		// commits when the owner confirms, and the block is busy until
+		// then.
+		n.eager().xfers[m.Addr] = xfer{req: m.Src, isWrite: true, wantData: wantsData}
+		n.send(owner, MsgFwdWrite, m.Addr, 0, uint64(m.Src), 0)
+
+	case directory.Shared, directory.Uncached:
+		var others []int
+		e.Sharers.Visit(func(id int) {
+			if id != m.Src {
+				others = append(others, id)
+			}
+		})
+		e.Sharers.Clear()
+		e.Writers.Clear()
+		e.Sharers.Add(m.Src)
+		e.Writers.Add(m.Src)
+		e.State = directory.Dirty
+		n.Dir.Check(m.Addr, e)
+		if len(others) == 0 {
+			if wantsData {
+				at := maxTime(n.now(), memEnd)
+				n.Env.Eng.At(at, func() {
+					n.send(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+				})
+			} else {
+				n.send(m.Src, MsgWriteDone, m.Addr, 0, 0, 0)
+			}
+			eagerUnbusy(n, m.Addr)
+			return
+		}
+		// Invalidate every other sharer and collect acks here.
+		_, dspEnd := n.PP.Acquire(n.now(), uint64(len(others))*n.noticeCost())
+		e.PendingAcks = len(others)
+		n.eager().grants[m.Addr] = eagerGrant{writer: m.Src, wantData: wantsData}
+		n.Env.Eng.At(dspEnd, func() {
+			for _, id := range others {
+				n.send(id, MsgInval, m.Addr, 0, 0, 0)
+			}
+		})
+
+	default:
+		panic(fmt.Sprintf("protocol: eager home write in state %v", e.State))
+	}
+}
+
+// eagerHomeInvalAck counts one invalidation acknowledgement; the last one
+// releases the waiting writer and replays deferred requests.
+func eagerHomeInvalAck(n *Node, m mesh.Msg) {
+	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	n.Env.Eng.At(end, func() {
+		e := n.Dir.Entry(m.Addr)
+		e.PendingAcks--
+		if e.PendingAcks < 0 {
+			panic(fmt.Sprintf("protocol: node %d negative inval acks for block %d", n.ID, m.Addr))
+		}
+		if e.PendingAcks > 0 {
+			return
+		}
+		g, ok := n.eager().grants[m.Addr]
+		if !ok {
+			panic(fmt.Sprintf("protocol: node %d ack collection without grant for block %d", n.ID, m.Addr))
+		}
+		delete(n.eager().grants, m.Addr)
+		if g.wantData {
+			memEnd := n.memAccess(n.lineBytes())
+			n.Env.Eng.At(memEnd, func() {
+				n.send(g.writer, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+			})
+		} else {
+			n.send(g.writer, MsgWriteDone, m.Addr, 0, 0, 0)
+		}
+		eagerUnbusy(n, m.Addr)
+	})
+}
+
+// eagerHomeWriteBack absorbs a replaced dirty block. The owner check
+// guards against the (theoretically possible) case where the owner
+// re-fetched the block before its write-back landed.
+func eagerHomeWriteBack(n *Node, m mesh.Msg) {
+	memEnd := n.memAccess(n.lineBytes())
+	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	n.Env.Eng.At(maxTime(dirEnd, memEnd), func() {
+		e := n.Dir.Entry(m.Addr)
+		if e.Writers.Has(m.Src) {
+			e.Sharers.Remove(m.Src)
+			e.Writers.Remove(m.Src)
+			e.Recompute()
+			n.Dir.Check(m.Addr, e)
+		}
+		n.send(m.Src, MsgWTAck, m.Addr, 0, 0, 0)
+	})
+}
+
+// eagerOwnerForward handles a forwarded request at the current owner.
+// With a valid copy in hand it supplies the original requester
+// (transferring ownership for writes, downgrading and writing back for
+// reads) and confirms with XferDone, upon which the home commits the
+// directory change. Without a copy — it was evicted, or the grant that
+// makes this node owner is still in flight — it NACKs, and the home
+// retries the original request against then-current state, exactly as
+// DASH retries forwarded requests. Waiting at the owner instead would
+// let two crossing transfers deadlock.
+func eagerOwnerForward(n *Node, m mesh.Msg) {
+	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	n.Env.Eng.At(end, func() {
+		req := int(m.Arg)
+		// NACK when the copy is gone — or when this node's own access to
+		// the block is still pending (the fill landed but the store that
+		// motivated it has not committed): yielding now would let the
+		// block ping-pong without any processor making progress.
+		if n.Cache.Lookup(m.Addr) == nil || n.txn(m.Addr) != nil {
+			n.send(m.Src, MsgFwdNack, m.Addr, 0, 0, 0)
+			return
+		}
+		if MsgKind(m.Kind) == MsgFwdRead {
+			n.Cache.Downgrade(m.Addr)
+			// Concurrent sharing write-back to the home's memory.
+			n.send(m.Src, MsgSharingWB, m.Addr, n.lineBytes(), 0, 0)
+			n.send(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Shared), 0)
+		} else {
+			// Yield the block entirely.
+			if _, ok := n.Cache.Invalidate(m.Addr); ok {
+				n.Env.Class.Lose(n.ID, m.Addr, stats.LossCoherence, n.wordsPerLine())
+			}
+			n.send(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+		}
+		n.send(m.Src, MsgXferDone, m.Addr, 0, 0, 0)
+	})
+}
+
+// eagerXferDone commits a confirmed ownership transfer in the directory
+// and releases the block's deferred requests.
+func eagerXferDone(n *Node, m mesh.Msg) {
+	es := n.eager()
+	x, ok := es.xfers[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("protocol: node %d XferDone without pending transfer (block %d)", n.ID, m.Addr))
+	}
+	delete(es.xfers, m.Addr)
+	e := n.Dir.Entry(m.Addr)
+	if x.isWrite {
+		e.Sharers.Clear()
+		e.Writers.Clear()
+		e.Sharers.Add(x.req)
+		e.Writers.Add(x.req)
+		e.State = directory.Dirty
+	} else {
+		e.Sharers.Add(x.req) // the old owner keeps a read-only copy
+		e.Writers.Clear()
+		e.Recompute()
+	}
+	n.Dir.Check(m.Addr, e)
+	eagerUnbusy(n, m.Addr)
+}
+
+// eagerFwdNack retries a request whose forwarded service failed. The
+// transfer window closes and the original request joins the BACK of the
+// block's deferred queue: any request the stale owner itself has queued
+// (it re-requests immediately after losing its copy) is served first,
+// restoring an owner the retry can be forwarded to — putting the retry
+// first instead starves the owner and livelocks.
+func eagerFwdNack(n *Node, m mesh.Msg) {
+	es := n.eager()
+	x, ok := es.xfers[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("protocol: node %d FwdNack without pending transfer (block %d)", n.ID, m.Addr))
+	}
+	delete(es.xfers, m.Addr)
+	orig := mesh.Msg{Src: x.req, Dst: n.ID, Addr: m.Addr}
+	if x.isWrite {
+		orig.Kind = int(MsgWriteReq)
+		if x.wantData {
+			orig.Arg = wantData
+		}
+	} else {
+		orig.Kind = int(MsgReadReq)
+	}
+	es.deferred[m.Addr] = append(es.deferred[m.Addr], pendingReq{m: orig, memEnd: n.now()})
+	eagerUnbusy(n, m.Addr)
+}
+
+// eagerInval invalidates a (clean) sharer's copy immediately and
+// acknowledges the collecting home. Copies still in flight are flagged to
+// die on arrival.
+func eagerInval(n *Node, m mesh.Msg) {
+	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	n.Env.Eng.At(end, func() {
+		// A data fill still in flight dies on arrival; a present copy
+		// dies now — including one with an outstanding upgrade request,
+		// which lost the ownership race and will be re-resolved when the
+		// home replays it.
+		// A pending write-miss fill is left alone: its grant is
+		// serialized after this collection at the home and must survive.
+		if t := n.txn(m.Addr); t != nil && t.ExpectData && !t.IsWrite && !t.Data.IsOpen() {
+			t.InvalidateOnFill = true
+		} else if _, ok := n.Cache.Invalidate(m.Addr); ok {
+			n.Env.Class.Lose(n.ID, m.Addr, stats.LossCoherence, n.wordsPerLine())
+		}
+		n.send(m.Src, MsgInvalAck, m.Addr, 0, 0, 0)
+	})
+}
+
+// ---- Requester side ------------------------------------------------------
+
+func eagerReadReply(n *Node, m mesh.Msg) {
+	eagerFill(n, m.Addr, cache.ReadOnly)
+}
+
+func eagerWriteData(n *Node, m mesh.Msg) {
+	eagerFill(n, m.Addr, cache.ReadWrite)
+}
+
+func eagerOwnerData(n *Node, m mesh.Msg) {
+	st := cache.ReadOnly
+	if m.Aux == 1 {
+		st = cache.ReadWrite
+	}
+	eagerFill(n, m.Addr, st)
+}
+
+// eagerFill completes a data reply at the requester: the line lands in
+// state st unless a racing invalidation or read-forward marked the
+// transaction, in which case it dies or demotes on arrival; then any
+// buffered stores for the block are resolved.
+func eagerFill(n *Node, block uint64, st cache.LineState) {
+	t := n.txn(block)
+	if t == nil {
+		panic(fmt.Sprintf("protocol: node %d data reply without txn (block %d)", n.ID, block))
+	}
+	n.fillLine(block, st, func() {
+		t.Filled = true
+		inv := t.InvalidateOnFill
+		n.finishTxn(t)
+		if inv {
+			n.dropFilledCopyEager(block)
+		}
+		eagerRetireWB(n, block)
+	})
+}
+
+func eagerWriteDone(n *Node, m mesh.Msg) {
+	t := n.txn(m.Addr)
+	if t == nil {
+		panic(fmt.Sprintf("protocol: node %d write done without txn (block %d)", n.ID, m.Addr))
+	}
+	if l := n.Cache.Lookup(m.Addr); l != nil && l.State == cache.ReadOnly {
+		n.Cache.Upgrade(m.Addr)
+	}
+	n.finishTxn(t)
+	eagerRetireWB(n, m.Addr)
+}
+
+// dropFilledCopyEager invalidates a copy whose invalidation raced its
+// fill.
+func (n *Node) dropFilledCopyEager(block uint64) {
+	if _, ok := n.Cache.Invalidate(block); ok {
+		n.Env.Class.Lose(n.ID, block, stats.LossCoherence, n.wordsPerLine())
+	}
+}
+
+// eagerRetireWB resolves a write-buffer entry once a transaction for its
+// block completes: apply the stores if ownership arrived, start an
+// upgrade if only data arrived, restart the miss if an invalidation won
+// the race.
+func eagerRetireWB(n *Node, block uint64) {
+	e := n.WB.Find(block)
+	if e == nil {
+		return
+	}
+	line := n.Cache.Lookup(block)
+	switch {
+	case line != nil && line.State == cache.ReadWrite:
+		words := n.WB.Retire(block).Words
+		for m := words; m != 0; m &= m - 1 {
+			n.commitWB(block, bits.TrailingZeros64(m))
+		}
+		n.wbRetired()
+	case line != nil:
+		// Data arrived read-only (merged read); request ownership.
+		if n.txn(block) == nil {
+			n.newTxn(block).IsWrite = true
+			n.send(n.homeOf(block), MsgWriteReq, block, 0, 0, 0)
+		}
+	default:
+		if t := n.txn(block); t != nil {
+			t.Done.Subscribe(func() { eagerRestartWrite(n, block) })
+		} else {
+			eagerRestartWrite(n, block)
+		}
+	}
+}
+
+// eagerRestartWrite restarts a write miss whose previous fill was
+// invalidated in flight.
+func eagerRestartWrite(n *Node, block uint64) {
+	e := n.WB.Find(block)
+	if e == nil || n.txn(block) != nil {
+		return
+	}
+	word := bits.TrailingZeros64(e.Words)
+	n.countMiss(block, word, false)
+	t := n.newTxn(block)
+	t.ExpectData = true
+	t.IsWrite = true
+	n.send(n.homeOf(block), MsgWriteReq, block, 0, wantData, 0)
+}

@@ -1,0 +1,94 @@
+package protocol
+
+import "lazyrc/internal/mesh"
+
+// LRCExt is the lazier variant of §2: the protocol processor refrains
+// from sending write notices for as long as possible, buffering them
+// locally and posting them only when the processor performs a release —
+// or when a written block is replaced in the cache, which bounds the
+// buffer at the cache size and spares the directory from writes by
+// processors that no longer cache a block.
+//
+// As the paper shows, this wins on miss rate but moves the coherence
+// work into the critical path of the release, and loses to LRC on
+// overall execution time for all applications but fft.
+type LRCExt struct{}
+
+var _ Protocol = (*LRCExt)(nil)
+var _ lazyNoticePolicy = (*LRCExt)(nil)
+
+// Name returns "lrc-ext".
+func (*LRCExt) Name() string { return "lrc-ext" }
+
+// Lazy reports true: this protocol pays the lazy directory access cost.
+func (*LRCExt) Lazy() bool { return true }
+
+// WriteBack reports false: write-through with a coalescing buffer.
+func (*LRCExt) WriteBack() bool { return false }
+
+// EagerNotices reports false: notices are deferred to release time.
+func (*LRCExt) EagerNotices() bool { return false }
+
+// Deliver handles one coherence message (same handlers as LRC; the home
+// cannot tell the protocols apart).
+func (*LRCExt) Deliver(n *Node, m mesh.Msg) { lazyDeliver(n, m) }
+
+// CPURead performs a load, exactly as under LRC.
+func (*LRCExt) CPURead(n *Node, block uint64, word int) { lazyCPURead(n, block, word) }
+
+// CPUWrite performs a store. Unlike LRC, taking write permission on a
+// resident read-only line is purely local: no message leaves the node
+// until the next release (or until the block is evicted).
+func (*LRCExt) CPUWrite(n *Node, block uint64, word int) {
+	lazyCPUWrite(n, block, word, false)
+}
+
+// AcquireBegin starts invalidating lines for already-received notices
+// (unless the NoAcquireOverlap ablation defers them to AcquireEnd).
+func (*LRCExt) AcquireBegin(n *Node) {
+	if !n.Env.Cfg.NoAcquireOverlap {
+		n.processPendInv()
+	}
+}
+
+// AcquireEnd invalidates lines noticed while the synchronization
+// operation was in flight.
+func (*LRCExt) AcquireEnd(n *Node, done func()) {
+	end := n.processPendInv()
+	n.Env.Eng.At(end, done)
+}
+
+// Release posts every deferred write notice, flushes the coalescing
+// buffer, and stalls until the home nodes have collected all notice
+// acknowledgements and memory has absorbed all write-throughs. This is
+// where the lazier protocol pays: work LRC overlapped with computation
+// lands in the critical path of the release.
+func (*LRCExt) Release(n *Node) {
+	blocks := append([]uint64(nil), n.delayed...)
+	n.delayed = n.delayed[:0]
+	for _, b := range blocks {
+		delete(n.delayedSet, b)
+	}
+	if len(blocks) > 0 {
+		// Posting occupies the protocol processor per notice.
+		n.PP.Acquire(n.now(), uint64(len(blocks))*n.noticeCost())
+		for _, b := range blocks {
+			n.postNotice(b)
+		}
+	}
+	for {
+		n.flushCB()
+		n.waitDrained()
+		if n.CB.Empty() && len(n.delayed) == 0 {
+			return
+		}
+		// Stores retiring during the drain may have deposited fresh
+		// coalesced words or deferred notices; post and flush again.
+		more := append([]uint64(nil), n.delayed...)
+		n.delayed = n.delayed[:0]
+		for _, b := range more {
+			delete(n.delayedSet, b)
+			n.postNotice(b)
+		}
+	}
+}

@@ -1,0 +1,516 @@
+package protocol
+
+import (
+	"fmt"
+
+	"lazyrc/internal/cache"
+	"lazyrc/internal/config"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/sim"
+	"lazyrc/internal/stats"
+)
+
+// Env is the machine-wide state shared by all protocol nodes.
+type Env struct {
+	Eng   *sim.Engine
+	Net   *mesh.Network
+	Cfg   config.Config
+	Stats *stats.Machine
+	Class *stats.Classifier
+	Nodes []*Node
+
+	// Debug, when non-nil, receives protocol-internal trace lines.
+	Debug func(format string, args ...any)
+
+	// pageHome is the FirstTouch page-placement table (-1 = untouched).
+	pageHome []int
+}
+
+// debugf emits a protocol-internal trace line when debugging is enabled.
+func (n *Node) debugf(format string, args ...any) {
+	if n.Env.Debug != nil {
+		n.Env.Debug("%7d node%d "+format, append([]any{n.Env.Eng.Now(), n.ID}, args...)...)
+	}
+}
+
+// HomeOf returns the home node of a coherence block. Shared pages are
+// interleaved round-robin across the machine by default; under the
+// FirstTouch policy a page that has been touched lives at its first
+// toucher (untouched pages fall back to interleaving).
+func (e *Env) HomeOf(block uint64) int {
+	page := block * uint64(e.Cfg.LineSize) / uint64(e.Cfg.PageSize)
+	if e.Cfg.FirstTouch && page < uint64(len(e.pageHome)) {
+		if h := e.pageHome[page]; h >= 0 {
+			return h
+		}
+	}
+	return int(page % uint64(e.Cfg.Procs))
+}
+
+// TouchPage records the first simulated access to the page containing
+// addr, assigning the page's home under the FirstTouch policy. Later
+// touches are no-ops.
+func (e *Env) TouchPage(addr uint64, node int) {
+	if !e.Cfg.FirstTouch {
+		return
+	}
+	page := addr / uint64(e.Cfg.PageSize)
+	for uint64(len(e.pageHome)) <= page {
+		e.pageHome = append(e.pageHome, -1)
+	}
+	if e.pageHome[page] < 0 {
+		e.pageHome[page] = node
+	}
+}
+
+// Txn is one outstanding coherence transaction at its requesting node —
+// the equivalent of a RAC entry in the DASH protocol. At most one
+// transaction per block is outstanding per node; later accesses to the
+// same block merge onto it.
+type Txn struct {
+	Block uint64
+	// Data opens when the block's data has been filled into the cache
+	// (or, for data-less upgrades, when no data will come). CPU stalls
+	// and write-buffer retirements wait here.
+	Data sim.Gate
+	// Done opens when the transaction is globally performed (ownership
+	// granted, all notices acknowledged). Releases drain on this.
+	Done sim.Gate
+	// InvalidateOnFill is set when a notice or invalidation arrived for
+	// a block whose fill is still in flight; the copy is dropped the
+	// moment it lands.
+	InvalidateOnFill bool
+	// ExpectData marks a transaction that will receive a data reply.
+	ExpectData bool
+	// IsWrite marks an ownership-acquiring transaction. Invalidations
+	// arriving while it waits concern the requester's old sharer status,
+	// never the future grant (the home serializes collections against
+	// grants), so they must not kill the fill when it finally lands.
+	IsWrite bool
+	// Filled records that the data reply actually arrived. A load parked
+	// on this transaction is satisfied by the arriving data even when a
+	// racing invalidation drops the copy in the same instant — the value
+	// was bound when the line came in, as in real hardware. Without this
+	// a contended read retries from scratch and write-heavy sharing
+	// patterns amplify pathologically.
+	Filled bool
+	// DoneEarly records that the completion (WriteDone) overtook the
+	// data reply in the network; the transaction finishes when the data
+	// lands.
+	DoneEarly bool
+}
+
+// Node is one processor node: CPU-side cache structures, the protocol
+// processor, the local memory module and bus, and the directory for the
+// blocks homed here.
+type Node struct {
+	ID    int
+	Env   *Env
+	Proto Protocol
+
+	Cache *cache.Cache
+	WB    *cache.WriteBuffer
+	CB    *cache.CoalescingBuffer
+
+	PP  *sim.Resource // protocol processor occupancy
+	Mem *sim.Resource // local memory module
+	Bus *sim.Resource // local bus (cache fills)
+
+	Dir *directory.Directory
+
+	CPU *sim.Context
+	PS  *stats.Proc
+
+	outstanding  map[uint64]*Txn
+	nOutstanding int
+	wtPending    int // write-throughs / write-backs awaiting memory acks
+
+	pendInv    []uint64 // blocks to invalidate at the next acquire (FIFO)
+	pendInvSet map[uint64]bool
+
+	delayed    []uint64 // lazier protocol: unposted write notices (FIFO)
+	delayedSet map[uint64]bool
+
+	releaseParked bool // CPU is parked in a release drain
+	wbParked      bool // CPU is parked on a full write buffer
+
+	eagerHome *eagerState // lazily allocated eager-protocol home state
+
+	sync syncNode
+}
+
+// NewNode builds a node; the machine package wires CPU contexts and
+// workloads afterwards.
+func NewNode(env *Env, id int, proto Protocol) *Node {
+	cfg := env.Cfg
+	n := &Node{
+		ID:    id,
+		Env:   env,
+		Proto: proto,
+		Cache: cache.New(cfg.Lines()),
+		WB:    cache.NewWriteBuffer(cfg.WBEntries),
+		CB:    cache.NewCoalescingBuffer(cfg.CBEntries),
+		PP:    sim.NewResource(fmt.Sprintf("pp%d", id)),
+		Mem:   sim.NewResource(fmt.Sprintf("mem%d", id)),
+		Bus:   sim.NewResource(fmt.Sprintf("bus%d", id)),
+		Dir:   directory.New(cfg.Procs, cfg.CheckInvariants),
+		PS:    &env.Stats.Procs[id],
+
+		outstanding: make(map[uint64]*Txn),
+		pendInvSet:  make(map[uint64]bool),
+		delayedSet:  make(map[uint64]bool),
+	}
+	n.sync.init()
+	env.Net.Handle(id, n.Deliver)
+	return n
+}
+
+// Deliver routes an arriving message: synchronization traffic to the sync
+// manager, coherence traffic to the protocol.
+func (n *Node) Deliver(m mesh.Msg) {
+	if MsgKind(m.Kind).IsSync() {
+		n.deliverSync(m)
+		return
+	}
+	n.Proto.Deliver(n, m)
+}
+
+// send dispatches a message from this node.
+func (n *Node) send(dst int, kind MsgKind, block uint64, size int, arg, aux uint64) {
+	n.Env.Net.Send(mesh.Msg{
+		Src: n.ID, Dst: dst, Kind: int(kind), Size: size,
+		Addr: block, Arg: arg, Aux: aux,
+	})
+}
+
+func (n *Node) now() sim.Time       { return n.Env.Eng.Now() }
+func (n *Node) homeOf(b uint64) int { return n.Env.HomeOf(b) }
+func (n *Node) lineBytes() int      { return n.Env.Cfg.LineSize }
+func (n *Node) wordsPerLine() int   { return n.Env.Cfg.WordsPerLine() }
+func (n *Node) noticeCost() uint64  { return n.Env.Cfg.NoticeCost }
+
+// dirCost returns the home directory access cost for this node's
+// protocol family (Table 1: 25 cycles lazy, 15 cycles eager/SC).
+func (n *Node) dirCost() uint64 {
+	if n.Proto.Lazy() {
+		return n.Env.Cfg.DirCostLRC
+	}
+	return n.Env.Cfg.DirCostERC
+}
+func (n *Node) memCycles(b int) uint64 {
+	return n.Env.Cfg.MemSetup + uint64((b+n.Env.Cfg.MemBW-1)/n.Env.Cfg.MemBW)
+}
+func (n *Node) busCycles(b int) uint64 {
+	return uint64((b + n.Env.Cfg.BusBW - 1) / n.Env.Cfg.BusBW)
+}
+
+// ---- Outstanding transactions ----------------------------------------
+
+// txn returns the outstanding transaction for block, or nil.
+func (n *Node) txn(block uint64) *Txn { return n.outstanding[block] }
+
+// newTxn allocates an outstanding-transaction record for block. A second
+// transaction for the same block is a protocol bug.
+func (n *Node) newTxn(block uint64) *Txn {
+	if n.outstanding[block] != nil {
+		panic(fmt.Sprintf("protocol: node %d duplicate txn for block %d", n.ID, block))
+	}
+	t := &Txn{Block: block}
+	n.outstanding[block] = t
+	n.nOutstanding++
+	return t
+}
+
+// finishTxn completes a transaction: opens Done (if still closed),
+// removes it, and re-evaluates any release drain.
+func (n *Node) finishTxn(t *Txn) {
+	if n.outstanding[t.Block] != t {
+		panic(fmt.Sprintf("protocol: node %d finishing unknown txn for block %d", n.ID, t.Block))
+	}
+	delete(n.outstanding, t.Block)
+	n.nOutstanding--
+	if !t.Data.IsOpen() {
+		t.Data.Open()
+	}
+	if !t.Done.IsOpen() {
+		t.Done.Open()
+	}
+	n.checkDrain()
+}
+
+// ---- Release draining --------------------------------------------------
+
+// drained reports whether all writes by this node are globally performed:
+// write buffer flushed, outstanding transactions serviced, and memory has
+// acknowledged outstanding write-backs/write-throughs (§2's three release
+// conditions).
+func (n *Node) drained() bool {
+	return n.WB.Empty() && n.nOutstanding == 0 && n.wtPending == 0
+}
+
+// checkDrain wakes a CPU parked in a release once the node drains.
+func (n *Node) checkDrain() {
+	if n.releaseParked && n.drained() {
+		n.releaseParked = false
+		n.CPU.Wake()
+	}
+}
+
+// waitDrained parks the CPU (which must be the caller) until drained,
+// charging the wait to SyncStall.
+func (n *Node) waitDrained() {
+	if n.drained() {
+		return
+	}
+	n.releaseParked = true
+	n.PS.SyncStall += n.CPU.Park("release drain")
+}
+
+// wbRetired wakes a CPU stalled on a full write buffer.
+func (n *Node) wbRetired() {
+	if n.wbParked {
+		n.wbParked = false
+		n.CPU.Wake()
+	}
+	n.checkDrain()
+}
+
+// stallWBFull parks the CPU until some write-buffer entry retires,
+// charging WriteStall.
+func (n *Node) stallWBFull() {
+	n.wbParked = true
+	n.PS.WriteStall += n.CPU.Park("write buffer slot")
+}
+
+// ---- Cache fills and evictions -----------------------------------------
+
+// fillLine installs block (state st) when its data message has arrived:
+// the line streams over the node bus, the victim (if any) is processed,
+// and at bus completion fn runs (protocols open the transaction's Data
+// gate there). Must be called from an event handler at data arrival time.
+func (n *Node) fillLine(block uint64, st cache.LineState, fn func()) {
+	victim, evicted := n.Cache.Fill(block, st)
+	if evicted {
+		n.evictVictim(victim)
+	}
+	n.Env.Class.Fill(n.ID, block, n.wordsPerLine())
+	_, end := n.Bus.Acquire(n.now(), n.busCycles(n.lineBytes()))
+	n.Env.Eng.At(end, fn)
+}
+
+// evictVictim handles a conflict/capacity replacement: pending coalesced
+// writes drain to memory, the home learns the copy is gone, and the
+// classifier records an eviction loss. Write-back protocols send the
+// dirty data home instead of a hint.
+func (n *Node) evictVictim(v cache.Line) {
+	block := v.Block
+	n.Env.Class.Lose(n.ID, block, stats.LossEviction, n.wordsPerLine())
+	if n.pendInvSet[block] {
+		// The paper: no need to keep invalidate-set entries for lines
+		// dropped from the cache.
+		delete(n.pendInvSet, block)
+		for i, b := range n.pendInv {
+			if b == block {
+				n.pendInv = append(n.pendInv[:i], n.pendInv[i+1:]...)
+				break
+			}
+		}
+	}
+	if e, ok := n.CB.Remove(block); ok {
+		n.sendWriteThrough(e)
+	}
+	if n.delayedSet[block] {
+		// Lazier protocol: a written block is being replaced; its
+		// deferred notice must be posted now, before the home forgets us.
+		n.removeDelayed(block)
+		n.postNotice(block)
+	}
+	if v.Dirty != 0 && n.usesWriteBack() {
+		n.wtPending++
+		n.send(n.homeOf(block), MsgWriteBack, block, n.lineBytes(), v.Dirty, 0)
+	} else {
+		n.send(n.homeOf(block), MsgEvict, block, 0, 0, 0)
+	}
+}
+
+func (n *Node) usesWriteBack() bool { return n.Proto.WriteBack() }
+
+// ---- Write-through path (lazy protocols) --------------------------------
+
+// commitWT performs a store on a resident read-write line under the
+// write-through protocols: per-word dirty bookkeeping, the classifier's
+// committed-write stream, and the coalescing buffer (possibly draining
+// its oldest entry on capacity pressure).
+func (n *Node) commitWT(block uint64, word int) {
+	n.Cache.MarkDirty(block, word)
+	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
+	if e, drain := n.CB.Put(block, word); drain {
+		n.sendWriteThrough(e)
+	}
+}
+
+// commitWB performs a store on a resident read-write line under the
+// write-back protocols: per-word dirty bookkeeping plus the classifier's
+// committed-write stream. The data travels home only on eviction or
+// ownership transfer.
+func (n *Node) commitWB(block uint64, word int) {
+	n.Cache.MarkDirty(block, word)
+	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
+}
+
+// FastWriteHit attempts the write-hit fast path: a store to a resident
+// read-write line that requires no messages and therefore no
+// synchronization with the event loop (the processor may be running
+// ahead on its private clock). It reports whether the store was
+// performed; on false the caller must sync to engine time and take the
+// full CPUWrite path.
+func (n *Node) FastWriteHit(block uint64, word int) bool {
+	line := n.Cache.Lookup(block)
+	if line == nil || line.State != cache.ReadWrite {
+		return false
+	}
+	if n.Proto.WriteBack() {
+		n.commitWB(block, word)
+		return true
+	}
+	if n.CB.Len() >= n.CB.Cap() && !n.CB.Has(block) {
+		return false // a coalescing-buffer drain would send a message
+	}
+	n.commitWT(block, word)
+	return true
+}
+
+// sendWriteThrough ships one coalescing-buffer entry to the block's home
+// memory and tracks the pending acknowledgement.
+func (n *Node) sendWriteThrough(e cache.CBEntry) {
+	n.wtPending++
+	n.PS.WriteThroughs++
+	n.send(n.homeOf(e.Block), MsgWriteThrough, e.Block, e.DirtyBytes(config.WordSize), e.Words, 0)
+}
+
+// flushCB drains every coalescing-buffer entry (the release-point flush).
+func (n *Node) flushCB() {
+	for _, e := range n.CB.DrainAll() {
+		n.sendWriteThrough(e)
+	}
+}
+
+// ---- Pending invalidations (lazy protocols) -----------------------------
+
+// addPendInv queues block for invalidation at the next acquire.
+func (n *Node) addPendInv(block uint64) {
+	if n.pendInvSet[block] {
+		return
+	}
+	n.pendInvSet[block] = true
+	n.pendInv = append(n.pendInv, block)
+}
+
+// processPendInv invalidates every queued line: coalesced writes drain
+// first, the home is notified so the directory can revert the block's
+// state, and the classifier records a coherence loss. It returns the time
+// at which the protocol processor finishes the batch. In-flight fills are
+// flagged to invalidate on arrival.
+func (n *Node) processPendInv() sim.Time {
+	work := 0
+	for _, block := range n.pendInv {
+		delete(n.pendInvSet, block)
+		if t := n.txn(block); t != nil && !t.Data.IsOpen() {
+			t.InvalidateOnFill = true
+			continue
+		}
+		if _, ok := n.Cache.Invalidate(block); ok {
+			if e, ok := n.CB.Remove(block); ok {
+				n.sendWriteThrough(e)
+			}
+			n.removeDelayed(block)
+			n.Env.Class.Lose(n.ID, block, stats.LossCoherence, n.wordsPerLine())
+			n.PS.InvalsAtAcquire++
+			n.send(n.homeOf(block), MsgInvNotify, block, 0, 0, 0)
+			work++
+		}
+	}
+	n.pendInv = n.pendInv[:0]
+	if work == 0 {
+		return n.now()
+	}
+	_, end := n.PP.Acquire(n.now(), uint64(work)*n.noticeCost())
+	return end
+}
+
+// ---- Delayed notices (lazier protocol) ----------------------------------
+
+func (n *Node) addDelayed(block uint64) {
+	if n.delayedSet[block] {
+		return
+	}
+	n.delayedSet[block] = true
+	n.delayed = append(n.delayed, block)
+}
+
+func (n *Node) removeDelayed(block uint64) {
+	if !n.delayedSet[block] {
+		return
+	}
+	delete(n.delayedSet, block)
+	for i, b := range n.delayed {
+		if b == block {
+			n.delayed = append(n.delayed[:i], n.delayed[i+1:]...)
+			return
+		}
+	}
+}
+
+// postNotice sends the deferred write notice for block to its home,
+// opening a transaction that completes when the home has collected all
+// notice acknowledgements.
+func (n *Node) postNotice(block uint64) {
+	if t := n.txn(block); t != nil {
+		// A transaction is already outstanding for this block (e.g., the
+		// data fetch that preceded the silent upgrade is still pending);
+		// fold the notice into it by posting when it finishes.
+		t.Done.Subscribe(func() { n.postNotice(block) })
+		return
+	}
+	t := n.newTxn(block)
+	t.Data.Open() // no data will come
+	n.send(n.homeOf(block), MsgWriteReq, block, 0, 0, 0)
+}
+
+// ---- Classification ------------------------------------------------------
+
+// Debug renders non-quiescent node state for deadlock diagnostics; it
+// returns "" when the node has nothing outstanding.
+func (n *Node) Debug() string {
+	s := ""
+	for b, t := range n.outstanding {
+		s += fmt.Sprintf(" txn{block %d data:%v done:%v expect:%v}", b, t.Data.IsOpen(), t.Done.IsOpen(), t.ExpectData)
+	}
+	if !n.WB.Empty() {
+		s += fmt.Sprintf(" wb:%d", n.WB.Len())
+	}
+	if n.wtPending > 0 {
+		s += fmt.Sprintf(" wt:%d", n.wtPending)
+	}
+	if n.eagerHome != nil {
+		for b, g := range n.eagerHome.grants {
+			e := n.Dir.Peek(b)
+			s += fmt.Sprintf(" grant{block %d writer %d want:%v acks:%d}", b, g.writer, g.wantData, e.PendingAcks)
+		}
+		for b, x := range n.eagerHome.xfers {
+			s += fmt.Sprintf(" xfer{block %d req %d write:%v}", b, x.req, x.isWrite)
+		}
+		for b, msgs := range n.eagerHome.deferred {
+			s += fmt.Sprintf(" deferred{block %d n:%d}", b, len(msgs))
+		}
+	}
+	return s
+}
+
+// countMiss classifies and tallies a miss by this processor on
+// (block, word).
+func (n *Node) countMiss(block uint64, word int, upgradeOnly bool) {
+	k := n.Env.Class.Classify(n.ID, block, word, n.wordsPerLine(), upgradeOnly)
+	n.PS.Misses[k]++
+}

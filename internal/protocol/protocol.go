@@ -1,0 +1,64 @@
+package protocol
+
+import (
+	"fmt"
+
+	"lazyrc/internal/mesh"
+)
+
+// Protocol is the strategy implemented by each coherence protocol. The
+// CPU-side methods (CPURead, CPUWrite, AcquireBegin, Release) run on the
+// node's processor context and may park it; AcquireEnd and Deliver run on
+// the engine (event-handler) side.
+type Protocol interface {
+	// Name identifies the protocol ("sc", "erc", "lrc", "lrc-ext").
+	Name() string
+	// Lazy reports whether this is one of the lazy protocols, which pay
+	// the higher directory access cost of Table 1.
+	Lazy() bool
+	// WriteBack reports whether evicted dirty lines carry data home
+	// (write-back protocols) rather than relying on write-through.
+	WriteBack() bool
+
+	// CPURead performs a load that missed the fast path; it returns when
+	// the datum is readable, charging stalls to the node's stats.
+	CPURead(n *Node, block uint64, word int)
+	// CPUWrite performs a store that missed the fast path; under the
+	// relaxed protocols it usually queues the store and returns without
+	// waiting for global performance.
+	CPUWrite(n *Node, block uint64, word int)
+
+	// AcquireBegin runs when the processor starts an acquire: the lazy
+	// protocols begin invalidating notified lines, overlapping with the
+	// synchronization latency itself.
+	AcquireBegin(n *Node)
+	// AcquireEnd runs (on the engine side) when the synchronization
+	// operation is granted; done is called when the consistency work
+	// (invalidating lines noticed in the intervening time) finishes.
+	AcquireEnd(n *Node, done func())
+	// Release runs when the processor performs a release; it returns
+	// once the node's writes are globally performed per the protocol's
+	// rules, charging the wait to SyncStall.
+	Release(n *Node)
+
+	// Deliver handles a coherence message arriving at n.
+	Deliver(n *Node, m mesh.Msg)
+}
+
+// New returns the protocol implementation registered under name.
+func New(name string) (Protocol, error) {
+	switch name {
+	case "sc":
+		return &SC{}, nil
+	case "erc":
+		return &ERC{}, nil
+	case "lrc":
+		return &LRC{}, nil
+	case "lrc-ext", "lrcext":
+		return &LRCExt{}, nil
+	}
+	return nil, fmt.Errorf("protocol: unknown protocol %q (want sc, erc, lrc, lrc-ext)", name)
+}
+
+// Names lists the available protocols in evaluation order.
+func Names() []string { return []string{"sc", "erc", "lrc", "lrc-ext"} }

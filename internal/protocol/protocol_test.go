@@ -1,0 +1,280 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/sim"
+	"lazyrc/internal/stats"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("mesi"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if p, err := New("lrcext"); err != nil || p.Name() != "lrc-ext" {
+		t.Fatalf("alias lrcext: %v, %v", p, err)
+	}
+}
+
+func TestProtocolProperties(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		lazy, writeback bool
+	}{
+		{"sc", false, true},
+		{"erc", false, true},
+		{"lrc", true, false},
+		{"lrc-ext", true, false},
+	} {
+		p, err := New(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Lazy() != tc.lazy {
+			t.Errorf("%s: Lazy() = %v", tc.name, p.Lazy())
+		}
+		if p.WriteBack() != tc.writeback {
+			t.Errorf("%s: WriteBack() = %v", tc.name, p.WriteBack())
+		}
+	}
+}
+
+func TestNoticePolicy(t *testing.T) {
+	if !(&LRC{}).EagerNotices() {
+		t.Error("LRC must send notices eagerly")
+	}
+	if (&LRCExt{}).EagerNotices() {
+		t.Error("LRCExt must defer notices")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	for k := MsgKind(0); k < numMsgKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "MsgKind(") {
+			t.Errorf("kind %d has no mnemonic", k)
+		}
+	}
+	if !MsgLockReq.IsSync() || !MsgFlagGo.IsSync() {
+		t.Error("sync kinds not classified as sync")
+	}
+	if MsgReadReq.IsSync() || MsgWriteThrough.IsSync() {
+		t.Error("coherence kinds classified as sync")
+	}
+}
+
+// testEnv builds a bare n-node environment for white-box protocol tests.
+func testEnv(t *testing.T, n int, proto string) *Env {
+	t.Helper()
+	cfg := config.Default(n)
+	cfg.CheckInvariants = true
+	eng := sim.NewEngine()
+	env := &Env{
+		Eng:   eng,
+		Net:   mesh.New(eng, cfg),
+		Cfg:   cfg,
+		Stats: stats.NewMachine(n),
+		Class: stats.NewClassifier(n, cfg.WordsPerLine()),
+	}
+	for i := 0; i < n; i++ {
+		p, err := New(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Nodes = append(env.Nodes, NewNode(env, i, p))
+	}
+	return env
+}
+
+// TestLockQueueGrantOrder scripts three lock requesters directly against
+// a sync manager and checks FIFO granting.
+func TestLockQueueGrantOrder(t *testing.T) {
+	env := testEnv(t, 4, "sc")
+	var order []int
+	for i := 1; i <= 3; i++ {
+		node := env.Nodes[i]
+		id := i
+		node.CPU = env.Eng.Spawn("cpu", func(c *sim.Context) {
+			// Stagger the requests so arrival order is deterministic.
+			c.Sleep(uint64(id * 10))
+			node.LockAcquire(0, 7)
+			order = append(order, id)
+			c.Sleep(100) // hold the lock
+			node.LockRelease(0, 7)
+		})
+	}
+	env.Nodes[0].CPU = env.Eng.Spawn("cpu0", func(c *sim.Context) {})
+	env.Eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("grant order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFlagSetBeforeWait(t *testing.T) {
+	env := testEnv(t, 2, "sc")
+	done := false
+	env.Nodes[0].CPU = env.Eng.Spawn("setter", func(c *sim.Context) {
+		env.Nodes[0].FlagSet(0, 3)
+	})
+	env.Nodes[1].CPU = env.Eng.Spawn("waiter", func(c *sim.Context) {
+		c.Sleep(500) // flag long since set
+		env.Nodes[1].FlagWait(0, 3)
+		done = true
+	})
+	env.Eng.Run()
+	if !done {
+		t.Fatal("waiter never released")
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	env := testEnv(t, 4, "sc")
+	counts := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		node, id := env.Nodes[i], i
+		node.CPU = env.Eng.Spawn("cpu", func(c *sim.Context) {
+			for round := 0; round < 3; round++ {
+				c.Sleep(uint64(id*7 + 1))
+				node.BarrierWait(2, 9, 4)
+				counts[id]++
+			}
+		})
+	}
+	env.Eng.Run()
+	for id, n := range counts {
+		if n != 3 {
+			t.Fatalf("cpu%d passed barrier %d times, want 3", id, n)
+		}
+	}
+}
+
+// TestLRCWeakTransitionScript drives the lazy home directly: two writers
+// make a block weak; the home collects the notice ack and completes both.
+func TestLRCWeakTransitionScript(t *testing.T) {
+	env := testEnv(t, 2, "lrc")
+	home := env.Nodes[0]
+	block := uint64(0) // homed at node 0
+	var w0, w1 *sim.Context
+	w0 = env.Eng.Spawn("w0", func(c *sim.Context) {
+		home.Proto.CPUWrite(home, block, 0)
+		g := home.txn(block)
+		if g != nil {
+			home.PS.WriteStall += g.Done.Wait(c, "done")
+		}
+	})
+	w1 = env.Eng.Spawn("w1", func(c *sim.Context) {
+		c.Sleep(50)
+		n1 := env.Nodes[1]
+		n1.Proto.CPUWrite(n1, block, 1)
+		g := n1.txn(block)
+		if g != nil {
+			n1.PS.WriteStall += g.Done.Wait(c, "done")
+		}
+	})
+	home.CPU = w0
+	env.Nodes[1].CPU = w1
+	env.Eng.Run()
+
+	e := home.Dir.Peek(block)
+	if e == nil || e.State != directory.Weak {
+		t.Fatalf("directory state = %v, want WEAK", e)
+	}
+	if e.Writers.Len() != 2 || e.Sharers.Len() != 2 {
+		t.Fatalf("writers/sharers = %d/%d, want 2/2", e.Writers.Len(), e.Sharers.Len())
+	}
+	if e.PendingAcks != 0 {
+		t.Fatalf("pending acks = %d after completion", e.PendingAcks)
+	}
+	// The first writer received a notice for the second's write.
+	if env.Stats.Procs[0].NoticesIn != 1 {
+		t.Fatalf("writer 0 processed %d notices, want 1", env.Stats.Procs[0].NoticesIn)
+	}
+}
+
+// TestTxnDuplicatePanics ensures the one-transaction-per-block invariant
+// is enforced.
+func TestTxnDuplicatePanics(t *testing.T) {
+	env := testEnv(t, 1, "lrc")
+	n := env.Nodes[0]
+	n.newTxn(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate txn did not panic")
+		}
+	}()
+	n.newTxn(5)
+}
+
+func TestDirCostByFamily(t *testing.T) {
+	lazy := testEnv(t, 1, "lrc").Nodes[0]
+	eager := testEnv(t, 1, "erc").Nodes[0]
+	if lazy.dirCost() != 25 || eager.dirCost() != 15 {
+		t.Fatalf("dir costs = %d/%d, want 25/15", lazy.dirCost(), eager.dirCost())
+	}
+}
+
+func TestPendInvDedup(t *testing.T) {
+	env := testEnv(t, 1, "lrc")
+	n := env.Nodes[0]
+	n.addPendInv(3)
+	n.addPendInv(3)
+	n.addPendInv(4)
+	if len(n.pendInv) != 2 {
+		t.Fatalf("pendInv = %v, want 2 unique entries", n.pendInv)
+	}
+}
+
+func TestDelayedNoticeBookkeeping(t *testing.T) {
+	env := testEnv(t, 1, "lrc-ext")
+	n := env.Nodes[0]
+	n.addDelayed(8)
+	n.addDelayed(8)
+	n.addDelayed(9)
+	if len(n.delayed) != 2 {
+		t.Fatalf("delayed = %v, want 2 unique entries", n.delayed)
+	}
+	n.removeDelayed(8)
+	if len(n.delayed) != 1 || n.delayed[0] != 9 {
+		t.Fatalf("delayed after remove = %v, want [9]", n.delayed)
+	}
+	n.removeDelayed(8) // absent: no-op
+}
+
+func TestLockFreeWithoutHoldPanics(t *testing.T) {
+	env := testEnv(t, 2, "sc")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing an un-held lock did not panic")
+		}
+	}()
+	env.Nodes[0].handleSync(mesh.Msg{Kind: int(MsgLockFree), Aux: 3, Src: 1})
+}
+
+func TestSyncGrantWithoutWaiterPanics(t *testing.T) {
+	env := testEnv(t, 2, "sc")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("grant with no waiter did not panic")
+		}
+	}()
+	env.Nodes[0].handleSync(mesh.Msg{Kind: int(MsgLockGrant), Aux: 3, Src: 1})
+}
+
+func TestNumMsgKindsMatchesNames(t *testing.T) {
+	if NumMsgKinds() != len(msgNames) {
+		t.Fatalf("NumMsgKinds = %d but %d names registered", NumMsgKinds(), len(msgNames))
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with coroutine-style processor contexts and FIFO occupancy resources.
+//
+// The engine and all event handlers run on a single goroutine; processor
+// contexts are goroutines that execute strictly one at a time, handing
+// control back to the engine whenever they block on simulated time. Events
+// with equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), so a given program produces an
+// identical cycle-accurate schedule on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in processor cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event     { return h[0] }
+func (h *eventHeap) popMin() event  { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEv(e event) { heap.Push(h, e) }
+func (h eventHeap) emptied() bool   { return len(h) == 0 }
+
+// Engine is a deterministic discrete-event simulator.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	yield chan struct{} // contexts signal here when handing control back
+
+	contexts []*Context
+	parked   map[*Context]string // parked context -> wait reason
+
+	nEvents uint64 // total events executed, for diagnostics
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:  make(chan struct{}),
+		parked: map[*Context]string{},
+		events: make(eventHeap, 0, 1024),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.pushEv(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue drains and every context has
+// finished. If the queue drains while contexts are still parked, the
+// simulation is deadlocked and Run panics with a per-context report.
+func (e *Engine) Run() {
+	for !e.events.emptied() {
+		ev := e.events.popMin()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	if len(e.parked) > 0 {
+		panic(e.deadlockReport())
+	}
+	for _, c := range e.contexts {
+		if !c.done {
+			panic(fmt.Sprintf("sim: context %q neither finished nor parked at end of run", c.name))
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then stops.
+// It does not treat remaining parked contexts as a deadlock.
+func (e *Engine) RunUntil(t Time) {
+	for !e.events.emptied() && e.events.peek().at <= t {
+		ev := e.events.popMin()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) deadlockReport() string {
+	type row struct{ name, why string }
+	rows := make([]row, 0, len(e.parked))
+	for c, why := range e.parked {
+		rows = append(rows, row{c.name, why})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	s := fmt.Sprintf("sim: deadlock at time %d: %d context(s) parked with no pending events:", e.now, len(rows))
+	for _, r := range rows {
+		s += fmt.Sprintf("\n  %s: waiting for %s", r.name, r.why)
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package sim
+
+// Gate is a one-shot completion latch for protocol transactions: event
+// handlers open it once, and any number of contexts or callbacks observe
+// the opening. It is the simulation-time analogue of closing a channel.
+//
+// A Gate may be waited on by at most one parked context at a time (a
+// processor stalls on its own outstanding transaction) but may carry any
+// number of callback subscribers (merged requests on the same cache
+// block).
+type Gate struct {
+	open    bool
+	waiter  *Context
+	actions []func()
+}
+
+// Open fires the gate at the current simulated time: the parked waiter, if
+// any, is woken and all subscribed callbacks run immediately (in
+// subscription order). Opening an already-open gate panics; transactions
+// complete exactly once.
+func (g *Gate) Open() {
+	if g.open {
+		panic("sim: gate opened twice")
+	}
+	g.open = true
+	if g.waiter != nil {
+		w := g.waiter
+		g.waiter = nil
+		w.Wake()
+	}
+	for _, fn := range g.actions {
+		fn()
+	}
+	g.actions = nil
+}
+
+// IsOpen reports whether the gate has fired.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait parks the context until the gate opens; it returns immediately if
+// the gate is already open. It returns the cycles spent parked.
+func (g *Gate) Wait(c *Context, why string) uint64 {
+	if g.open {
+		return 0
+	}
+	if g.waiter != nil {
+		panic("sim: gate already has a parked waiter")
+	}
+	g.waiter = c
+	return c.Park(why)
+}
+
+// Subscribe registers fn to run when the gate opens (immediately if it is
+// already open). Callbacks run on the engine goroutine.
+func (g *Gate) Subscribe(fn func()) {
+	if g.open {
+		fn()
+		return
+	}
+	g.actions = append(g.actions, fn)
+}
+
+// Counter is a countdown latch: it opens an underlying gate when Add'ed
+// work reaches zero. Used for ack collection (invalidations, write
+// notices, write-through drains).
+type Counter struct {
+	n    int
+	gate Gate
+}
+
+// Add increases outstanding work by d (d may be negative via Done only).
+func (c *Counter) Add(d int) {
+	if d < 0 {
+		panic("sim: Counter.Add with negative delta; use Done")
+	}
+	if c.gate.open {
+		panic("sim: Counter.Add after completion")
+	}
+	c.n += d
+}
+
+// Done retires one unit of work, opening the gate when none remain.
+// Calling Done more times than Add panics.
+func (c *Counter) Done() {
+	c.n--
+	if c.n < 0 {
+		panic("sim: Counter.Done below zero")
+	}
+	if c.n == 0 {
+		c.gate.Open()
+	}
+}
+
+// Pending returns the outstanding count.
+func (c *Counter) Pending() int { return c.n }
+
+// Gate returns the underlying completion gate. Note that a Counter whose
+// count never rose above zero has not opened its gate; call Settle to
+// open it if nothing is outstanding.
+func (c *Counter) Gate() *Gate { return &c.gate }
+
+// Settle opens the gate immediately if no work is outstanding and the
+// gate has not already fired. It is a convenience for "wait for all acks,
+// of which there may be none".
+func (c *Counter) Settle() {
+	if c.n == 0 && !c.gate.open {
+		c.gate.Open()
+	}
+}

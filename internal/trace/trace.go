@@ -1,0 +1,108 @@
+// Package trace records simulated protocol activity as JSON-lines
+// events, for debugging protocol behaviour and for teaching tools like
+// examples/protocolwalk. Tracing attaches to a machine's network tap and
+// is entirely passive: it never alters timing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lazyrc/internal/machine"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/protocol"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	// Cycle is the simulated time of the event.
+	Cycle uint64 `json:"cycle"`
+	// Kind is the event type: currently always "msg".
+	Kind string `json:"kind"`
+	// Src and Dst are node ids.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Msg is the message kind mnemonic ("ReadReq", "Notice", ...).
+	Msg string `json:"msg"`
+	// Block is the coherence block, if the message concerns one.
+	Block uint64 `json:"block"`
+	// Bytes is the payload size.
+	Bytes int `json:"bytes"`
+}
+
+// Tracer writes events to an io.Writer as JSON lines.
+type Tracer struct {
+	w      io.Writer
+	filter func(Event) bool
+	n      uint64
+	limit  uint64
+	err    error
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithBlockFilter keeps only events touching the given coherence block.
+func WithBlockFilter(block uint64) Option {
+	return func(t *Tracer) {
+		t.filter = func(e Event) bool { return e.Block == block }
+	}
+}
+
+// WithLimit stops recording after n events (0 = unlimited).
+func WithLimit(n uint64) Option {
+	return func(t *Tracer) { t.limit = n }
+}
+
+// New returns a tracer writing to w.
+func New(w io.Writer, opts ...Option) *Tracer {
+	t := &Tracer{w: w}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Attach hooks the tracer to a machine's network. It must be called
+// before Machine.Run, and replaces any previous tap.
+func (t *Tracer) Attach(m *machine.Machine) {
+	m.Net.Trace = func(msg mesh.Msg) {
+		t.record(Event{
+			Cycle: m.Eng.Now(),
+			Kind:  "msg",
+			Src:   msg.Src,
+			Dst:   msg.Dst,
+			Msg:   protocol.MsgKind(msg.Kind).String(),
+			Block: msg.Addr,
+			Bytes: msg.Size,
+		})
+	}
+}
+
+func (t *Tracer) record(e Event) {
+	if t.err != nil {
+		return
+	}
+	if t.filter != nil && !t.filter(e) {
+		return
+	}
+	if t.limit > 0 && t.n >= t.limit {
+		return
+	}
+	t.n++
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+	}
+}
+
+// Events returns the number of events recorded.
+func (t *Tracer) Events() uint64 { return t.n }
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error { return t.err }

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+func runTraced(t *testing.T, opts ...Option) (*Tracer, *bytes.Buffer) {
+	t.Helper()
+	m, err := machine.New(config.Default(4), "lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := New(&buf, opts...)
+	tr.Attach(m)
+	a := m.AllocF64(64)
+	b := m.NewBarrier(4)
+	m.Run(func(p *machine.Proc) {
+		p.WriteF64(a.At(p.ID()*16), 1.0)
+		p.Barrier(b)
+		p.ReadF64(a.At(((p.ID() + 1) % 4) * 16))
+	})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, &buf
+}
+
+func TestTraceRecordsValidJSONL(t *testing.T) {
+	tr, buf := runTraced(t)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if uint64(len(lines)) != tr.Events() {
+		t.Fatalf("lines = %d, events = %d", len(lines), tr.Events())
+	}
+	if len(lines) < 8 {
+		t.Fatalf("too few events traced: %d", len(lines))
+	}
+	var sawRead, sawBarrier bool
+	for _, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad JSON line %q: %v", l, err)
+		}
+		if e.Kind != "msg" {
+			t.Fatalf("unexpected kind %q", e.Kind)
+		}
+		if e.Msg == "ReadReq" {
+			sawRead = true
+		}
+		if e.Msg == "BarArrive" {
+			sawBarrier = true
+		}
+	}
+	if !sawRead || !sawBarrier {
+		t.Fatal("expected both coherence and sync traffic in the trace")
+	}
+}
+
+func TestTraceBlockFilter(t *testing.T) {
+	_, buf := runTraced(t, WithBlockFilter(0))
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Block != 0 {
+			t.Fatalf("filter leaked block %d", e.Block)
+		}
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	tr, buf := runTraced(t, WithLimit(5))
+	if tr.Events() != 5 {
+		t.Fatalf("events = %d, want 5", tr.Events())
+	}
+	if n := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); n != 5 {
+		t.Fatalf("lines = %d, want 5", n)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errBoom }
+
+var errBoom = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "boom" }
+
+func TestTraceWriteErrorSticks(t *testing.T) {
+	tr := New(failWriter{})
+	tr.record(Event{Kind: "msg"})
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	tr.record(Event{Kind: "msg"}) // must not panic or reset the error
+	if tr.Err() == nil {
+		t.Fatal("error cleared")
+	}
+}
