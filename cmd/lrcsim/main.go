@@ -17,6 +17,8 @@ import (
 	"text/tabwriter"
 
 	"lazyrc"
+	"lazyrc/internal/check"
+	"lazyrc/internal/sim"
 	"lazyrc/internal/trace"
 )
 
@@ -34,6 +36,12 @@ func main() {
 		traceMax   = flag.Uint64("trace-max", 1_000_000, "cap on traced events")
 		contention = flag.Bool("contention", false, "print the per-resource contention report")
 		traffic    = flag.Bool("traffic", false, "print the per-message-kind traffic breakdown")
+		seed       = flag.Uint64("seed", 1, "random seed for seed-dependent subsystems (fault injection); the same seed replays the same schedule")
+		faultPlan  = flag.String("faults", "", "fault-injection plan for the interconnect, e.g. 'delay=0.05:1:64,dup=0.03:32,reorder=0.02:48' (see internal/faults.ParsePlan)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "seed the fault injector independently of -seed (0: derive from -seed)")
+		doCheck    = flag.Bool("check", false, "audit protocol invariants during and after the run; exit nonzero on any violation")
+		checkEvery = flag.Uint64("check-every", 5000, "cycles between invariant audits under -check")
+		watchdog   = flag.Uint64("watchdog", 0, "liveness watchdog probe interval in cycles (0: disabled); a stall aborts the run with a report; pick an interval far above the longest legitimate wait (e.g. 50000)")
 	)
 	flag.Parse()
 
@@ -49,11 +57,28 @@ func main() {
 	if *future {
 		cfg = lazyrc.FutureConfig(*procs)
 	}
+	cfg.Seed = *seed
+	cfg.FaultSeed = *faultSeed
+	cfg.FaultPlan = *faultPlan
 
 	var tr *trace.Tracer
 	m, err := lazyrc.NewMachine(cfg, *proto)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var auditor *check.Auditor
+	if *doCheck {
+		if *checkEvery == 0 {
+			log.Fatal("-check-every must be positive")
+		}
+		auditor = check.New(m)
+		auditor.Start(*checkEvery)
+	}
+	if *watchdog > 0 {
+		m.EnableWatchdog(*watchdog, func(r sim.StallReport) {
+			fmt.Fprintln(os.Stderr, r)
+			m.Eng.Stop()
+		})
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -66,10 +91,26 @@ func main() {
 	}
 	app.Setup(m)
 	m.Run(app.Worker)
+	if m.Eng.Stopped() {
+		log.Fatal("run aborted by the liveness watchdog")
+	}
 	if *verify {
 		if verr := app.Verify(); verr != nil {
 			log.Fatalf("verification failed: %v", verr)
 		}
+	}
+	if auditor != nil {
+		auditor.Final()
+		if cerr := auditor.Err(); cerr != nil {
+			for _, v := range auditor.Violations() {
+				fmt.Fprintln(os.Stderr, v)
+			}
+			log.Fatalf("invariant check failed: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "check: %d epoch audits + final audit, 0 violations\n", auditor.Epochs())
+	}
+	if s := m.Net.FaultSummary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
 	}
 	if tr != nil {
 		if terr := tr.Err(); terr != nil {

@@ -35,6 +35,7 @@ func main() {
 		procs     = flag.Int("procs", 64, "number of processors")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 		jsonOut   = flag.String("json", "", "also write a machine-readable report to this file")
+		seed      = flag.Uint64("seed", 1, "base random seed stamped into every run's configuration; a report plus its seed fully determines a replay")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	all := want["all"]
 
 	e := exp.NewEvaluator(scale, *procs)
+	e.Seed = *seed
 	var progress func(string)
 	if !*quiet {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

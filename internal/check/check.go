@@ -1,0 +1,241 @@
+// Package check implements a runtime protocol-invariant auditor for the
+// simulated machine. It cross-checks the distributed state the protocols
+// maintain — home-node directory entries against the actual contents of
+// every processor cache and the set of outstanding transactions — both
+// periodically during a run (epoch audits) and strictly at quiescence.
+//
+// Mid-run, distributed state legitimately disagrees while a transaction is
+// in flight (a fill streaming on a bus, an acknowledgement crossing the
+// mesh), so epoch audits skip blocks that are busy anywhere: any node with
+// an outstanding transaction for the block, a home with transfer or grant
+// machinery open, or pending acknowledgements. What remains must agree
+// exactly; a violation means protocol state has been corrupted — by a bug
+// or by an injected fault the protocols failed to absorb.
+//
+// The auditor observes but never mutates simulation state, and its epochs
+// run as background events, so enabling it does not change the simulated
+// schedule and cannot keep a finished simulation alive.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"lazyrc/internal/cache"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/machine"
+	"lazyrc/internal/protocol"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Time is the simulated time of the audit that caught it.
+	Time uint64
+	// Node is the home node whose directory the violation concerns.
+	Node int
+	// Block is the coherence block, or NoBlock for machine-level checks.
+	Block uint64
+	// Invariant names the broken invariant (stable, kebab-case).
+	Invariant string
+	// Detail is the human-readable specifics.
+	Detail string
+	// Final marks a quiescence-audit violation.
+	Final bool
+}
+
+// NoBlock marks a violation not tied to a single coherence block.
+const NoBlock = ^uint64(0)
+
+// String renders the violation.
+func (v Violation) String() string {
+	where := fmt.Sprintf("node %d", v.Node)
+	if v.Block != NoBlock {
+		where += fmt.Sprintf(" block %d", v.Block)
+	}
+	kind := "epoch"
+	if v.Final {
+		kind = "final"
+	}
+	return fmt.Sprintf("check: t=%d %s audit: %s: invariant %q: %s", v.Time, kind, where, v.Invariant, v.Detail)
+}
+
+// Auditor audits one machine. Create with New, optionally Start periodic
+// epoch audits before the run, and call Final after it.
+type Auditor struct {
+	m    *machine.Machine
+	lazy bool
+
+	// MaxViolations bounds how many violations are recorded (the first
+	// one is almost always the informative one; the rest are usually its
+	// fallout). Default 16.
+	MaxViolations int
+
+	// OnViolation, when non-nil, observes each recorded violation as it
+	// is found — e.g. to stop the simulation on the first one.
+	OnViolation func(Violation)
+
+	violations []Violation
+	epochs     uint64
+}
+
+// New returns an auditor for m.
+func New(m *machine.Machine) *Auditor {
+	return &Auditor{m: m, lazy: m.Nodes[0].Proto.Lazy(), MaxViolations: 16}
+}
+
+// Start schedules an epoch audit every `every` cycles for the rest of the
+// run. Audits are background events: they never keep the simulation
+// alive. Call before Machine.Run.
+func (a *Auditor) Start(every uint64) {
+	if every == 0 {
+		panic("check: audit interval must be positive")
+	}
+	eng := a.m.Eng
+	var tick func()
+	tick = func() {
+		a.Epoch()
+		if !eng.Stopped() {
+			eng.Background(eng.Now()+every, tick)
+		}
+	}
+	eng.Background(eng.Now()+every, tick)
+}
+
+// Epochs returns the number of epoch audits performed.
+func (a *Auditor) Epochs() uint64 { return a.epochs }
+
+// Violations returns the recorded violations in detection order.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Err returns the first recorded violation as an error, or nil.
+func (a *Auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s (%d violation(s) total)", a.violations[0], len(a.violations))
+}
+
+func (a *Auditor) record(v Violation) {
+	if len(a.violations) >= a.MaxViolations {
+		return
+	}
+	a.violations = append(a.violations, v)
+	if a.OnViolation != nil {
+		a.OnViolation(v)
+	}
+}
+
+// blockBusy reports whether any part of the machine has an open
+// transaction on block, making mid-run disagreement legitimate.
+func (a *Auditor) blockBusy(block uint64, home *protocol.Node) bool {
+	if home.HomeBusy(block) {
+		return true
+	}
+	for _, n := range a.m.Nodes {
+		if n.HasTxn(block) {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch performs one mid-run audit: every quiescent block's directory
+// entry must validate structurally and agree with the caches.
+func (a *Auditor) Epoch() {
+	a.epochs++
+	now := a.m.Eng.Now()
+	for _, home := range a.m.Nodes {
+		for _, block := range sortedBlocks(home.Dir) {
+			e := home.Dir.Peek(block)
+			if a.blockBusy(block, home) {
+				continue
+			}
+			a.checkEntry(now, home.ID, block, e, false)
+		}
+	}
+}
+
+// Final performs the strict quiescence audit after Machine.Run: exact
+// directory/cache agreement, no residual transactions, buffered writes,
+// or pending acknowledgements anywhere.
+func (a *Auditor) Final() {
+	now := a.m.Eng.Now()
+	for _, home := range a.m.Nodes {
+		for _, block := range sortedBlocks(home.Dir) {
+			a.checkEntry(now, home.ID, block, home.Dir.Peek(block), true)
+		}
+	}
+	for _, n := range a.m.Nodes {
+		if c := n.OutstandingCount(); c != 0 {
+			a.record(Violation{Time: now, Node: n.ID, Block: NoBlock, Final: true,
+				Invariant: "no-residual-txns",
+				Detail:    fmt.Sprintf("%d coherence transaction(s) still outstanding at quiescence", c)})
+		}
+		if c := n.WTPendingCount(); c != 0 {
+			a.record(Violation{Time: now, Node: n.ID, Block: NoBlock, Final: true,
+				Invariant: "no-residual-writes",
+				Detail:    fmt.Sprintf("%d write-through/write-back ack(s) still pending at quiescence", c)})
+		}
+		if !n.WB.Empty() {
+			a.record(Violation{Time: now, Node: n.ID, Block: NoBlock, Final: true,
+				Invariant: "write-buffer-empty",
+				Detail:    fmt.Sprintf("write buffer holds %d entries at quiescence", n.WB.Len())})
+		}
+		if !n.CB.Empty() {
+			a.record(Violation{Time: now, Node: n.ID, Block: NoBlock, Final: true,
+				Invariant: "coalescing-buffer-empty",
+				Detail:    fmt.Sprintf("coalescing buffer holds %d entries at quiescence", n.CB.Len())})
+		}
+	}
+}
+
+// checkEntry audits one directory entry against the machine's caches.
+func (a *Auditor) checkEntry(now uint64, homeID int, block uint64, e *directory.Entry, final bool) {
+	v := func(invariant, detail string) {
+		a.record(Violation{Time: now, Node: homeID, Block: block, Invariant: invariant, Detail: detail, Final: final})
+	}
+	if err := e.Validate(); err != nil {
+		v("directory-structure", err.Error())
+	}
+	if e.PendingAcks > a.m.Cfg.Procs {
+		v("pending-acks-bound", fmt.Sprintf("%d pending acks exceeds %d processors", e.PendingAcks, a.m.Cfg.Procs))
+	}
+	if final && e.PendingAcks != 0 {
+		v("no-pending-acks", fmt.Sprintf("%d ack(s) still being collected at quiescence", e.PendingAcks))
+	}
+	rw := 0
+	for _, n := range a.m.Nodes {
+		line := n.Cache.Lookup(block)
+		if line == nil {
+			if final && e.Sharers.Has(n.ID) {
+				v("sharer-holds-copy", fmt.Sprintf("node %d is in the sharer set but caches no copy", n.ID))
+			}
+			if final && e.Writers.Has(n.ID) {
+				v("writer-holds-copy", fmt.Sprintf("node %d is in the writer set but caches no copy", n.ID))
+			}
+			continue
+		}
+		// A cached copy the home does not know about can never be
+		// invalidated — the one-sided inclusion that must hold even
+		// mid-run on quiescent blocks.
+		if !e.Sharers.Has(n.ID) {
+			v("cached-copy-tracked", fmt.Sprintf("node %d caches the block (%v) but is not in the sharer set", n.ID, line.State))
+		}
+		if line.State == cache.ReadWrite {
+			rw++
+			if !a.lazy && !e.Writers.Has(n.ID) {
+				v("writable-copy-marked", fmt.Sprintf("node %d holds a writable copy but is not in the writer set", n.ID))
+			}
+		}
+	}
+	if !a.lazy && rw > 1 {
+		v("single-writer", fmt.Sprintf("%d writable copies of the block exist under an eager protocol", rw))
+	}
+}
+
+func sortedBlocks(d *directory.Directory) []uint64 {
+	blocks := make([]uint64, 0, d.Len())
+	d.Visit(func(b uint64, _ *directory.Entry) { blocks = append(blocks, b) })
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	return blocks
+}

@@ -90,6 +90,24 @@ type Config struct {
 	// CheckInvariants enables continuous directory/protocol invariant
 	// checking (panics on violation). Intended for tests.
 	CheckInvariants bool
+
+	// Seed is the base random seed of the run. The simulation itself is
+	// deterministic and does not consume randomness; the seed feeds
+	// seed-dependent subsystems (today: fault injection) and is recorded
+	// in reports so any run can be replayed exactly.
+	Seed uint64
+
+	// FaultSeed, when nonzero, seeds the fault injector's random stream
+	// independently of Seed — hold the workload seed fixed and sweep fault
+	// schedules, or vice versa. Zero means derive from Seed.
+	FaultSeed uint64
+
+	// FaultPlan is the textual fault-injection plan applied to the
+	// interconnect (see faults.ParsePlan for the format, e.g.
+	// "delay=0.05:1:64,dup=0.03:32"). Empty disables injection, leaving
+	// the fabric reliable and the schedule bit-identical to a build
+	// without the faults package.
+	FaultPlan string
 }
 
 // Default returns the Table 1 configuration of the paper for n processors.

@@ -36,6 +36,9 @@ type Evaluator struct {
 	Procs int
 	// Progress, when non-nil, receives a line per fresh run.
 	Progress func(string)
+	// Seed is stamped into every run's configuration so seed-dependent
+	// subsystems (fault injection) replay identically across evaluations.
+	Seed uint64
 
 	runs map[string]*Run
 }
@@ -63,6 +66,7 @@ func (e *Evaluator) configFor(name string) config.Config {
 		panic(fmt.Sprintf("exp: unknown config %q", name))
 	}
 	c.CacheSize = CacheForScale(e.Scale)
+	c.Seed = e.Seed
 	return c
 }
 

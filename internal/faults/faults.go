@@ -1,0 +1,357 @@
+// Package faults provides deterministic, seed-replayable fault injection
+// for the simulated interconnect. A Plan describes, per message kind, the
+// probability and magnitude of injected extra delay (in-flight jitter),
+// duplication, and reordering, plus a drop mode that is only legal for
+// message kinds with an end-to-end retry; an Injector draws from a seeded
+// SplitMix64 stream to turn the plan into concrete Fault decisions.
+//
+// Determinism: the injector consumes its random stream in Decide-call
+// order, and Decide is called from the (single-threaded, deterministic)
+// simulation engine, so a given (seed, plan, workload) triple produces an
+// identical fault schedule — and therefore an identical simulation — on
+// every run. With no injector attached the simulation is bit-identical to
+// a build without this package.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule gives the injection probabilities and magnitudes for one message
+// kind (or for all kinds, as Plan.Default). All probabilities are in
+// [0, 1]; all magnitudes are in simulated cycles.
+type Rule struct {
+	// DelayProb is the chance of adding in-flight latency jitter, drawn
+	// uniformly from [DelayMin, DelayMax]. Jitter shifts a message's
+	// arrival but cannot reorder messages bound for the same destination.
+	DelayProb          float64
+	DelayMin, DelayMax uint64
+
+	// DupProb is the chance the message is delivered twice; the duplicate
+	// re-enters the network up to DupDelayMax cycles after the original.
+	// Receivers deduplicate by transaction id, so duplication perturbs
+	// timing and resource occupancy without double-applying protocol
+	// actions.
+	DupProb     float64
+	DupDelayMax uint64
+
+	// ReorderProb is the chance the message is held for up to ReorderMax
+	// cycles before entering the network, letting later messages overtake
+	// it. Per-(src,dst) FIFO order is still preserved — the mesh never
+	// reorders two messages between the same pair of nodes, matching the
+	// ordering guarantee of dimension-ordered routing that the protocols
+	// are entitled to assume.
+	ReorderProb float64
+	ReorderMax  uint64
+
+	// DropProb is the chance the message is silently discarded. Dropping
+	// is only legal for message kinds registered as retryable with the
+	// network (there are none in the base protocols, which — like the
+	// hardware they model — assume a reliable fabric); attaching a plan
+	// that drops a non-retryable kind is a configuration error.
+	DropProb float64
+}
+
+// Zero reports whether the rule injects nothing.
+func (r Rule) Zero() bool {
+	return r.DelayProb == 0 && r.DupProb == 0 && r.ReorderProb == 0 && r.DropProb == 0
+}
+
+func (r Rule) validate() error {
+	for _, p := range []float64{r.DelayProb, r.DupProb, r.ReorderProb, r.DropProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: probability %v outside [0,1]", p)
+		}
+	}
+	if r.DelayProb > 0 && r.DelayMax < r.DelayMin {
+		return fmt.Errorf("faults: delay window [%d,%d] is empty", r.DelayMin, r.DelayMax)
+	}
+	return nil
+}
+
+// Plan is a complete fault-injection schedule description: a default rule,
+// per-message-kind overrides, and an optional active window in simulated
+// time.
+type Plan struct {
+	Default Rule
+	ByKind  map[int]Rule
+
+	// From and Until bound the window of simulated time in which faults
+	// are injected; Until == 0 means unbounded.
+	From, Until uint64
+}
+
+// Empty reports whether the plan injects nothing anywhere.
+func (p Plan) Empty() bool {
+	if !p.Default.Zero() {
+		return false
+	}
+	for _, r := range p.ByKind {
+		if !r.Zero() {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleFor returns the rule applying to the given message kind.
+func (p Plan) RuleFor(kind int) Rule {
+	if r, ok := p.ByKind[kind]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// Active reports whether the plan injects at simulated time now.
+func (p Plan) Active(now uint64) bool {
+	return now >= p.From && (p.Until == 0 || now < p.Until)
+}
+
+// Validate checks probabilities and windows, and — given the set of
+// retryable message kinds — rejects drop rules on kinds whose loss the
+// protocols cannot recover from.
+func (p Plan) Validate(retryable func(kind int) bool) error {
+	if err := p.Default.validate(); err != nil {
+		return err
+	}
+	if p.Default.DropProb > 0 {
+		return fmt.Errorf("faults: default rule drops messages; drops must name a retryable kind explicitly")
+	}
+	kinds := make([]int, 0, len(p.ByKind))
+	for k := range p.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		r := p.ByKind[k]
+		if err := r.validate(); err != nil {
+			return fmt.Errorf("faults: kind %d: %w", k, err)
+		}
+		if r.DropProb > 0 && (retryable == nil || !retryable(k)) {
+			return fmt.Errorf("faults: kind %d has drop probability %v but no retry exists for it", k, r.DropProb)
+		}
+	}
+	return nil
+}
+
+// ParsePlan parses the textual plan format used by the FaultPlan
+// configuration knob and the -faults command-line flag.
+//
+// A plan is a semicolon-separated list of clauses. The first clause
+// without a "KIND:" prefix is the default rule; a clause prefixed with an
+// integer message kind (see protocol.MsgKind) overrides the default for
+// that kind. Each clause is a comma-separated list of settings:
+//
+//	delay=P[:MIN:MAX]   extra in-flight latency with probability P,
+//	                    uniform in [MIN,MAX] cycles (default 1:64)
+//	dup=P[:MAX]         duplicate delivery with probability P, the copy
+//	                    re-sent within MAX cycles (default 32)
+//	reorder=P[:MAX]     hold before sending with probability P, up to MAX
+//	                    cycles (default 64); per-(src,dst) FIFO preserved
+//	drop=P              drop with probability P (retryable kinds only)
+//	window=FROM:UNTIL   inject only within [FROM,UNTIL) simulated cycles
+//	                    (top level; UNTIL=0 means unbounded)
+//
+// Example: "delay=0.1:1:64,dup=0.05:32;7:delay=0.5:1:16" adds jitter and
+// duplication to all traffic and heavier jitter to message kind 7.
+func ParsePlan(s string) (Plan, error) {
+	p := Plan{ByKind: map[int]Rule{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	seenDefault := false
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind := -1
+		if i := strings.Index(clause, ":"); i > 0 {
+			if k, err := strconv.Atoi(strings.TrimSpace(clause[:i])); err == nil {
+				kind = k
+				clause = clause[i+1:]
+			}
+		}
+		var r Rule
+		for _, item := range strings.Split(clause, ",") {
+			item = strings.TrimSpace(item)
+			if item == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(item, "=")
+			if !ok {
+				return Plan{}, fmt.Errorf("faults: malformed setting %q (want key=value)", item)
+			}
+			args := strings.Split(val, ":")
+			prob := func() (float64, error) {
+				f, err := strconv.ParseFloat(args[0], 64)
+				if err != nil || f < 0 || f > 1 {
+					return 0, fmt.Errorf("faults: %s probability %q not in [0,1]", key, args[0])
+				}
+				return f, nil
+			}
+			cyc := func(i int, def uint64) (uint64, error) {
+				if i >= len(args) {
+					return def, nil
+				}
+				n, err := strconv.ParseUint(args[i], 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("faults: %s cycle count %q: %v", key, args[i], err)
+				}
+				return n, nil
+			}
+			var err error
+			switch key {
+			case "delay":
+				if r.DelayProb, err = prob(); err != nil {
+					return Plan{}, err
+				}
+				if r.DelayMin, err = cyc(1, 1); err != nil {
+					return Plan{}, err
+				}
+				if r.DelayMax, err = cyc(2, maxU64(64, r.DelayMin)); err != nil {
+					return Plan{}, err
+				}
+			case "dup":
+				if r.DupProb, err = prob(); err != nil {
+					return Plan{}, err
+				}
+				if r.DupDelayMax, err = cyc(1, 32); err != nil {
+					return Plan{}, err
+				}
+			case "reorder":
+				if r.ReorderProb, err = prob(); err != nil {
+					return Plan{}, err
+				}
+				if r.ReorderMax, err = cyc(1, 64); err != nil {
+					return Plan{}, err
+				}
+			case "drop":
+				if r.DropProb, err = prob(); err != nil {
+					return Plan{}, err
+				}
+			case "window":
+				if kind >= 0 {
+					return Plan{}, fmt.Errorf("faults: window applies to the whole plan, not kind %d", kind)
+				}
+				if len(args) != 2 {
+					return Plan{}, fmt.Errorf("faults: window wants FROM:UNTIL, got %q", val)
+				}
+				if p.From, err = cyc(0, 0); err != nil {
+					return Plan{}, err
+				}
+				if p.Until, err = cyc(1, 0); err != nil {
+					return Plan{}, err
+				}
+			default:
+				return Plan{}, fmt.Errorf("faults: unknown setting %q (want delay, dup, reorder, drop, or window)", key)
+			}
+		}
+		if kind >= 0 {
+			p.ByKind[kind] = r
+		} else {
+			if seenDefault {
+				return Plan{}, fmt.Errorf("faults: more than one default clause")
+			}
+			seenDefault = true
+			p.Default = r
+		}
+	}
+	if err := p.Default.validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fault is one concrete injection decision for one message.
+type Fault struct {
+	// PreDelay holds the message back before it enters the network
+	// (reordering); ExtraLat is added to its in-flight latency (jitter).
+	PreDelay, ExtraLat uint64
+	// Duplicate requests a second delivery, re-entering the network
+	// DupDelay cycles after the original.
+	Duplicate bool
+	DupDelay  uint64
+	// Drop discards the message (retryable kinds only).
+	Drop bool
+}
+
+// Injector turns a Plan into per-message Fault decisions from a seeded
+// deterministic stream.
+type Injector struct {
+	rng  *RNG
+	plan Plan
+	seed uint64
+
+	decided, faulted uint64
+}
+
+// NewInjector returns an injector for the plan whose schedule is a pure
+// function of seed.
+func NewInjector(seed uint64, plan Plan) *Injector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{rng: NewRNG(seed), plan: plan, seed: seed}
+}
+
+// Seed returns the seed the injector was built with — printed in failure
+// reports so a failing schedule can be replayed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Validate checks the plan against the set of retryable message kinds.
+func (in *Injector) Validate(retryable func(kind int) bool) error {
+	return in.plan.Validate(retryable)
+}
+
+// Decide draws the fault decision for one message. It must be called in
+// deterministic (engine) order; the decision stream is a pure function of
+// the injector's seed and the call sequence.
+func (in *Injector) Decide(kind, src, dst, size int, now uint64) Fault {
+	var f Fault
+	if !in.plan.Active(now) {
+		return f
+	}
+	r := in.plan.RuleFor(kind)
+	if r.Zero() {
+		return f
+	}
+	in.decided++
+	if r.DropProb > 0 && in.rng.Float64() < r.DropProb {
+		f.Drop = true
+		in.faulted++
+		return f
+	}
+	if r.ReorderProb > 0 && in.rng.Float64() < r.ReorderProb {
+		f.PreDelay = 1 + in.rng.Uint64n(maxU64(r.ReorderMax, 1))
+	}
+	if r.DelayProb > 0 && in.rng.Float64() < r.DelayProb {
+		f.ExtraLat = r.DelayMin + in.rng.Uint64n(r.DelayMax-r.DelayMin+1)
+	}
+	if r.DupProb > 0 && in.rng.Float64() < r.DupProb {
+		f.Duplicate = true
+		f.DupDelay = 1 + in.rng.Uint64n(maxU64(r.DupDelayMax, 1))
+	}
+	if f.PreDelay > 0 || f.ExtraLat > 0 || f.Duplicate {
+		in.faulted++
+	}
+	return f
+}
+
+// Stats returns how many messages were considered and how many received at
+// least one fault.
+func (in *Injector) Stats() (decided, faulted uint64) { return in.decided, in.faulted }

@@ -1,0 +1,48 @@
+package faults
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64)
+// used by the fault injector. Unlike math/rand it is trivially seedable,
+// splittable, and guaranteed stable across Go releases, so a fault
+// schedule replays bit-identically from its seed forever.
+type RNG struct {
+	state uint64
+}
+
+// golden is the SplitMix64 increment (the golden ratio in fixed point).
+const golden = 0x9e3779b97f4a7c15
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// uncorrelated streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("faults: Uint64n(0)")
+	}
+	// Modulo bias is irrelevant at fault-injection granularity and keeping
+	// the draw to exactly one Uint64 makes stream consumption predictable.
+	return r.Uint64() % n
+}
+
+// Split derives an independent child stream. The parent advances by one
+// draw; the child's sequence shares no state with the parent's subsequent
+// output. Use one split per subsystem (e.g. the mesh injector, a future
+// randomized sweep) so adding a consumer never perturbs the others.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ golden}
+}

@@ -1,0 +1,85 @@
+package machine_test
+
+import (
+	"testing"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+// TestScheduleUnchangedWithInjectionDisabled pins exact end-to-end numbers
+// for gauss (tiny, 8 procs) under every protocol. These values were
+// recorded before the chaos harness (fault injection, TID stamping,
+// dedup, background events) was added: with no fault plan configured, the
+// simulated schedule must remain bit-identical to that baseline — the
+// harness must cost nothing and change nothing when disabled. Setting a
+// Seed must not perturb the schedule either, since the simulation itself
+// consumes no randomness.
+func TestScheduleUnchangedWithInjectionDisabled(t *testing.T) {
+	baseline := map[string]struct {
+		time, msgs, bytes, cpu, rd, wr, sy uint64
+	}{
+		"sc":      {41323, 2011, 65536, 23460, 214119, 17606, 72452},
+		"erc":     {41158, 1971, 64512, 23460, 221703, 0, 81154},
+		"lrc":     {42320, 2220, 63256, 23460, 239853, 0, 72945},
+		"lrc-ext": {31422, 1419, 46640, 23460, 161043, 0, 64519},
+	}
+	for proto, want := range baseline {
+		t.Run(proto, func(t *testing.T) {
+			cfg := config.Default(8)
+			cfg.Seed = 12345 // must be inert without a fault plan
+			m, err := machine.New(cfg, proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := apps.NewGauss(apps.Tiny)
+			app.Setup(m)
+			m.Run(app.Worker)
+			if err := app.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			cpu, rd, wr, sy := m.Stats.Aggregate()
+			msgs, bytes := m.Net.Stats()
+			got := [7]uint64{m.Stats.ExecutionTime(), msgs, bytes, cpu, rd, wr, sy}
+			exp := [7]uint64{want.time, want.msgs, want.bytes, want.cpu, want.rd, want.wr, want.sy}
+			if got != exp {
+				t.Fatalf("schedule drifted from pre-harness baseline:\n got time=%d msgs=%d bytes=%d cpu=%d rd=%d wr=%d sy=%d\nwant time=%d msgs=%d bytes=%d cpu=%d rd=%d wr=%d sy=%d",
+					got[0], got[1], got[2], got[3], got[4], got[5], got[6],
+					exp[0], exp[1], exp[2], exp[3], exp[4], exp[5], exp[6])
+			}
+		})
+	}
+}
+
+// TestFaultedRunsReplayBySeed verifies the other side of determinism:
+// with a fault plan attached, the same seed reproduces the identical
+// faulted schedule, and a different seed produces a different one.
+func TestFaultedRunsReplayBySeed(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		cfg := config.Default(8)
+		cfg.Seed = seed
+		cfg.FaultPlan = "delay=0.1:1:64,dup=0.05:32,reorder=0.03:48"
+		m, err := machine.New(cfg, "lrc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := apps.NewGauss(apps.Tiny)
+		app.Setup(m)
+		m.Run(app.Worker)
+		if err := app.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		msgs, _ := m.Net.Stats()
+		return m.Stats.ExecutionTime(), msgs
+	}
+	t1, m1 := run(7)
+	t2, m2 := run(7)
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("seed 7 runs differ: time %d vs %d, msgs %d vs %d", t1, t2, m1, m2)
+	}
+	t3, m3 := run(8)
+	if t1 == t3 && m1 == m3 {
+		t.Fatal("seeds 7 and 8 produced identical faulted schedules — injection looks inert")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"lazyrc/internal/config"
 	"lazyrc/internal/directory"
+	"lazyrc/internal/faults"
 	"lazyrc/internal/mesh"
 	"lazyrc/internal/protocol"
 	"lazyrc/internal/sim"
@@ -69,6 +70,22 @@ func New(cfg config.Config, protoName string) (*Machine, error) {
 		m.Nodes[i] = protocol.NewNode(env, i, p)
 	}
 	env.Nodes = m.Nodes
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	if cfg.FaultPlan != "" {
+		plan, err := faults.ParsePlan(cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		if err := net.SetInjector(faults.NewInjector(seed, plan)); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -338,6 +355,37 @@ func (m *Machine) ContentionReport() string {
 			r.name, r.busy, r.waited, r.worstNode, r.worstWaited)
 	}
 	return s
+}
+
+// EnableWatchdog installs a liveness watchdog on the machine's engine:
+// every interval cycles it checks per-context forward progress, and on a
+// stall calls onStall with a report enriched with machine-level notes —
+// per-node in-flight transactions and NIC queue depths. The handler may
+// call m.Eng.Stop() to abort the run.
+func (m *Machine) EnableWatchdog(interval uint64, onStall func(sim.StallReport)) {
+	m.Eng.Watchdog(interval, func(r sim.StallReport) {
+		r.Notes = append(r.Notes, m.stallNotes()...)
+		onStall(r)
+	})
+}
+
+// stallNotes collects machine-level liveness diagnostics for a stall
+// report.
+func (m *Machine) stallNotes() []string {
+	var notes []string
+	now := m.Eng.Now()
+	for _, n := range m.Nodes {
+		if d := n.Debug(); d != "" {
+			notes = append(notes, fmt.Sprintf("node %d:%s", n.ID, d))
+		}
+		if in, out := m.Net.PortBacklog(n.ID, now); in > 0 || out > 0 {
+			notes = append(notes, fmt.Sprintf("node %d: NIC backlog in=%d out=%d cycles", n.ID, in, out))
+		}
+	}
+	if s := m.Net.FaultSummary(); s != "" {
+		notes = append(notes, s)
+	}
+	return notes
 }
 
 // DumpState renders per-node protocol state for deadlock diagnostics.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"lazyrc/internal/config"
+	"lazyrc/internal/faults"
 	"lazyrc/internal/sim"
 )
 
@@ -23,17 +24,31 @@ import (
 type Network struct {
 	eng    *sim.Engine
 	w, h   int
+	nprocs int
 	hopLat uint64 // switch + wire, per hop
 	bw     int    // bytes per cycle
 
 	in  []*sim.Resource // per-node receive ports
 	out []*sim.Resource // per-node send ports
 
-	handlers []func(Msg)
+	handlers  []func(Msg)
+	finalized bool
 
 	sent      uint64
 	bytesSent uint64
 	byKind    map[int]uint64
+
+	// Fault injection (nil = reliable fabric, the default). When an
+	// injector is attached every message is stamped with a transaction id
+	// so receivers can deduplicate injected duplicates, and lastEntry
+	// serializes per-(src,dst) network entry so injected reordering never
+	// violates the pairwise FIFO guarantee the protocols assume.
+	inj       *faults.Injector
+	nextTID   uint64
+	retryable map[int]bool
+	lastEntry []sim.Time // nprocs*nprocs, indexed src*nprocs+dst
+
+	injReordered, injDelayed, injDuped, injDropped uint64
 
 	// LocalLoopback controls whether a node sending to itself still
 	// pays NIC and hop costs. Hardware handles node-local protocol
@@ -59,6 +74,11 @@ type Msg struct {
 	// word mask, object id, ...).
 	Arg uint64
 	Aux uint64
+
+	// TID is the network-assigned transaction id, stamped only when fault
+	// injection is active (0 otherwise). An injected duplicate carries its
+	// original's TID; receivers deduplicate on it.
+	TID uint64
 }
 
 // New builds the mesh for the given configuration.
@@ -68,6 +88,7 @@ func New(eng *sim.Engine, cfg config.Config) *Network {
 		eng:      eng,
 		w:        w,
 		h:        h,
+		nprocs:   cfg.Procs,
 		hopLat:   cfg.SwitchLat + cfg.WireLat,
 		bw:       cfg.NetBW,
 		in:       make([]*sim.Resource, cfg.Procs),
@@ -89,6 +110,52 @@ func (n *Network) Handle(id int, fn func(Msg)) {
 		panic(fmt.Sprintf("mesh: node %d handler registered twice", id))
 	}
 	n.handlers[id] = fn
+}
+
+// Finalize validates the registration: every node must have a delivery
+// handler. Machine setup calls it once wiring is complete, so a
+// misconfigured network fails fast with the full list of unhandled nodes
+// instead of panicking at the first Send that happens to hit one.
+func (n *Network) Finalize() error {
+	var missing []int
+	for id, h := range n.handlers {
+		if h == nil {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("mesh: %d node(s) have no delivery handler: %v", len(missing), missing)
+	}
+	n.finalized = true
+	return nil
+}
+
+// SetInjector attaches a fault injector, validating its plan against the
+// kinds registered as retryable. Pass nil to detach. With an injector
+// attached, every message is stamped with a transaction id and the
+// injector decides per message whether to add jitter, hold it back, or
+// duplicate it; with none, the send path is exactly the reliable fabric.
+func (n *Network) SetInjector(inj *faults.Injector) error {
+	if inj != nil {
+		if err := inj.Validate(func(kind int) bool { return n.retryable[kind] }); err != nil {
+			return err
+		}
+		if n.lastEntry == nil {
+			n.lastEntry = make([]sim.Time, n.nprocs*n.nprocs)
+		}
+	}
+	n.inj = inj
+	return nil
+}
+
+// MarkRetryable registers a message kind as having an end-to-end retry,
+// making it legal for a fault plan to drop it. The base protocols assume
+// a reliable fabric and register none.
+func (n *Network) MarkRetryable(kind int) {
+	if n.retryable == nil {
+		n.retryable = map[int]bool{}
+	}
+	n.retryable[kind] = true
 }
 
 // Hops returns the XY-routing distance between two nodes.
@@ -126,8 +193,58 @@ func (n *Network) TransferCycles(size int) uint64 {
 // LocalLoopback is set.
 func (n *Network) Send(m Msg) {
 	if n.handlers[m.Dst] == nil {
-		panic(fmt.Sprintf("mesh: no handler on node %d", m.Dst))
+		panic(fmt.Sprintf("mesh: no handler on node %d (Network.Finalize not called or node never registered)", m.Dst))
 	}
+	if n.inj == nil || (m.Src == m.Dst && !n.LocalLoopback) {
+		// Node-local protocol transitions never touch the network and are
+		// not subject to injection.
+		n.transmit(m, 0)
+		return
+	}
+	n.nextTID++
+	m.TID = n.nextTID
+	f := n.inj.Decide(m.Kind, m.Src, m.Dst, m.Size, n.eng.Now())
+	if f.Drop {
+		if !n.retryable[m.Kind] {
+			panic(fmt.Sprintf("mesh: injector dropped non-retryable kind %d", m.Kind))
+		}
+		n.injDropped++
+		return
+	}
+	// Injected reordering holds the message back before it enters the
+	// network; lastEntry keeps entry times monotonic per (src, dst) pair
+	// so two messages between the same nodes are never reordered — the
+	// FIFO guarantee of dimension-ordered routing survives injection.
+	entry := n.eng.Now() + f.PreDelay
+	pair := m.Src*n.nprocs + m.Dst
+	if t := n.lastEntry[pair]; t > entry {
+		entry = t
+	}
+	n.lastEntry[pair] = entry
+	if f.PreDelay > 0 {
+		n.injReordered++
+	}
+	if f.ExtraLat > 0 {
+		n.injDelayed++
+	}
+	send := func() {
+		n.transmit(m, f.ExtraLat)
+		if f.Duplicate {
+			n.injDuped++
+			n.eng.After(f.DupDelay, func() { n.transmit(m, f.ExtraLat) })
+		}
+	}
+	if entry == n.eng.Now() {
+		send()
+	} else {
+		n.eng.At(entry, send)
+	}
+}
+
+// transmit puts one message (or injected duplicate) on the wire: port
+// occupancy, hop latency, payload streaming, plus extra injected in-flight
+// latency.
+func (n *Network) transmit(m Msg, extra uint64) {
 	n.sent++
 	n.bytesSent += uint64(m.Size)
 	n.byKind[m.Kind]++
@@ -144,7 +261,7 @@ func (n *Network) Send(m Msg) {
 		occ = 1 // control messages still occupy the port for one cycle
 	}
 	sendStart, _ := n.out[m.Src].Acquire(n.eng.Now(), occ)
-	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser
+	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser + extra
 	deliver := n.in[m.Dst].AcquireWindow(rawArrival, occ)
 	n.eng.At(deliver, func() { n.handlers[m.Dst](m) })
 }
@@ -166,4 +283,33 @@ func (n *Network) PortWaited(id int) uint64 {
 // PortBusy returns the cumulative occupancy of node id's NIC ports.
 func (n *Network) PortBusy(id int) uint64 {
 	return n.in[id].Busy() + n.out[id].Busy()
+}
+
+// PortBacklog returns how many cycles past now node id's NIC ports are
+// already committed — the queue depth a stall report wants to see.
+func (n *Network) PortBacklog(id int, now sim.Time) (in, out uint64) {
+	if t := n.in[id].FreeAt(); t > now {
+		in = t - now
+	}
+	if t := n.out[id].FreeAt(); t > now {
+		out = t - now
+	}
+	return in, out
+}
+
+// FaultStats returns the number of injected reorder holds, latency
+// jitters, duplicates, and drops.
+func (n *Network) FaultStats() (reordered, delayed, duped, dropped uint64) {
+	return n.injReordered, n.injDelayed, n.injDuped, n.injDropped
+}
+
+// FaultSummary renders the injector's activity, or "" when no injector is
+// attached.
+func (n *Network) FaultSummary() string {
+	if n.inj == nil {
+		return ""
+	}
+	decided, faulted := n.inj.Stats()
+	return fmt.Sprintf("faults: seed %d, %d/%d messages faulted (%d reordered, %d delayed, %d duplicated, %d dropped)",
+		n.inj.Seed(), faulted, decided, n.injReordered, n.injDelayed, n.injDuped, n.injDropped)
 }

@@ -1,0 +1,37 @@
+package protocol
+
+// dedupWindowSize bounds the per-node duplicate-detection memory. The
+// injector re-sends a duplicate within at most a few hundred cycles of the
+// original, during which a node receives far fewer than 8192 messages, so
+// a transaction id is never evicted from the window while its duplicate
+// is still in flight.
+const dedupWindowSize = 8192
+
+// dedupWindow remembers the last dedupWindowSize transaction ids delivered
+// to a node so injected duplicate messages can be recognized and ignored.
+// The zero value is ready to use and allocates nothing until the first
+// stamped message arrives — runs without fault injection never touch it.
+type dedupWindow struct {
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+// admit records tid and reports whether it is new. A false return means
+// the message is a duplicate delivery and must be discarded.
+func (d *dedupWindow) admit(tid uint64) bool {
+	if d.seen == nil {
+		d.seen = make(map[uint64]struct{})
+		d.ring = make([]uint64, dedupWindowSize)
+	}
+	if _, dup := d.seen[tid]; dup {
+		return false
+	}
+	if old := d.ring[d.next]; old != 0 {
+		delete(d.seen, old)
+	}
+	d.ring[d.next] = tid
+	d.next = (d.next + 1) % dedupWindowSize
+	d.seen[tid] = struct{}{}
+	return true
+}

@@ -135,6 +135,9 @@ type Node struct {
 	releaseParked bool // CPU is parked in a release drain
 	wbParked      bool // CPU is parked on a full write buffer
 
+	dedup      dedupWindow // injected-duplicate suppression (by mesh TID)
+	dupIgnored uint64      // duplicate deliveries discarded
+
 	eagerHome *eagerState // lazily allocated eager-protocol home state
 
 	sync syncNode
@@ -167,8 +170,16 @@ func NewNode(env *Env, id int, proto Protocol) *Node {
 }
 
 // Deliver routes an arriving message: synchronization traffic to the sync
-// manager, coherence traffic to the protocol.
+// manager, coherence traffic to the protocol. Messages stamped with a
+// transaction id (fault injection active) are deduplicated here, making
+// every protocol and sync handler idempotent under injected duplication
+// at a single point.
 func (n *Node) Deliver(m mesh.Msg) {
+	if m.TID != 0 && !n.dedup.admit(m.TID) {
+		n.dupIgnored++
+		n.debugf("dedup: ignoring duplicate tid %d kind %d block %d from %d", m.TID, m.Kind, m.Addr, m.Src)
+		return
+	}
 	if MsgKind(m.Kind).IsSync() {
 		n.deliverSync(m)
 		return
@@ -506,6 +517,59 @@ func (n *Node) Debug() string {
 		}
 	}
 	return s
+}
+
+// ---- Auditor accessors ---------------------------------------------------
+
+// OutstandingCount returns the number of coherence transactions this node
+// has in flight.
+func (n *Node) OutstandingCount() int { return n.nOutstanding }
+
+// HasTxn reports whether this node has an outstanding transaction for
+// block.
+func (n *Node) HasTxn(block uint64) bool { return n.outstanding[block] != nil }
+
+// TxnBlocks returns the blocks of all outstanding transactions (order
+// unspecified).
+func (n *Node) TxnBlocks() []uint64 {
+	bs := make([]uint64, 0, len(n.outstanding))
+	for b := range n.outstanding {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// WTPendingCount returns the write-throughs/write-backs awaiting memory
+// acknowledgement.
+func (n *Node) WTPendingCount() int { return n.wtPending }
+
+// PendingInvals returns how many blocks are queued for invalidation at
+// this node's next acquire.
+func (n *Node) PendingInvals() int { return len(n.pendInv) }
+
+// DuplicatesIgnored returns how many injected duplicate deliveries this
+// node discarded.
+func (n *Node) DuplicatesIgnored() uint64 { return n.dupIgnored }
+
+// HomeBusy reports whether this node, as home, has transient protocol
+// machinery open for block — an eager ownership transfer or grant in
+// progress, deferred requests queued, or acknowledgements pending. While
+// any of it is open, directory state and remote caches may legitimately
+// disagree, so mid-run audits of the block must be skipped.
+func (n *Node) HomeBusy(block uint64) bool {
+	if n.eagerHome != nil {
+		if _, ok := n.eagerHome.grants[block]; ok {
+			return true
+		}
+		if _, ok := n.eagerHome.xfers[block]; ok {
+			return true
+		}
+		if len(n.eagerHome.deferred[block]) > 0 {
+			return true
+		}
+	}
+	e := n.Dir.Peek(block)
+	return e != nil && e.PendingAcks > 0
 }
 
 // countMiss classifies and tallies a miss by this processor on

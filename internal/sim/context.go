@@ -18,6 +18,10 @@ type Context struct {
 	resume chan struct{}
 	done   bool
 	parked bool
+
+	// progress counts resumptions; the watchdog reads it to tell a
+	// context that is advancing from one that is wedged.
+	progress uint64
 }
 
 // Spawn creates a context executing fn, scheduled to start at the current
@@ -52,6 +56,7 @@ func (c *Context) transfer() {
 	if c.done {
 		panic(fmt.Sprintf("sim: resuming finished context %q", c.name))
 	}
+	c.progress++
 	c.resume <- struct{}{}
 	<-c.eng.yield
 }
@@ -105,6 +110,10 @@ func (c *Context) WakeAt(t Time) {
 
 // Parked reports whether the context is currently parked.
 func (c *Context) Parked() bool { return c.parked }
+
+// Progress returns the context's resumption count — the watchdog's
+// forward-progress measure.
+func (c *Context) Progress() uint64 { return c.progress }
 
 // Done reports whether the context body has returned.
 func (c *Context) Done() bool { return c.done }

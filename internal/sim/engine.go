@@ -22,6 +22,7 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	bg  bool // background events do not keep the simulation alive
 }
 
 type eventHeap []event
@@ -54,6 +55,8 @@ type Engine struct {
 	parked   map[*Context]string // parked context -> wait reason
 
 	nEvents uint64 // total events executed, for diagnostics
+	nbg     int    // background events currently in the queue
+	stopped bool   // set by Stop; Run returns early
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -84,15 +87,49 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
 
+// Background schedules fn at absolute time t as a background event.
+// Background events — watchdog probes, invariant-checker epochs — do not
+// keep the simulation alive: Run returns (and discards them) once only
+// background events remain, so a periodic observer may reschedule itself
+// unconditionally without preventing termination.
+func (e *Engine) Background(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling background event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.nbg++
+	e.events.pushEv(event{at: t, seq: e.seq, fn: fn, bg: true})
+}
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return before the next event, without treating still-
+// parked contexts as a deadlock. A watchdog's stall handler calls it to
+// abort a wedged simulation after dumping its report.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Run executes events until the queue drains and every context has
 // finished. If the queue drains while contexts are still parked, the
 // simulation is deadlocked and Run panics with a per-context report.
 func (e *Engine) Run() {
-	for !e.events.emptied() {
+	for !e.events.emptied() && e.nbg < len(e.events) {
+		if e.stopped {
+			return
+		}
 		ev := e.events.popMin()
+		if ev.bg {
+			e.nbg--
+		}
 		e.now = ev.at
 		e.nEvents++
 		ev.fn()
+	}
+	if e.stopped {
+		return
 	}
 	if len(e.parked) > 0 {
 		panic(e.deadlockReport())
@@ -108,7 +145,13 @@ func (e *Engine) Run() {
 // It does not treat remaining parked contexts as a deadlock.
 func (e *Engine) RunUntil(t Time) {
 	for !e.events.emptied() && e.events.peek().at <= t {
+		if e.stopped {
+			return
+		}
 		ev := e.events.popMin()
+		if ev.bg {
+			e.nbg--
+		}
 		e.now = ev.at
 		e.nEvents++
 		ev.fn()
