@@ -6,9 +6,17 @@
 // future machine (Figures 8-9), the §4.3 sensitivity sweeps, and the
 // §4.2 mp3d quality-of-solution check.
 //
+// The evaluation matrix executes through internal/runner: simulations
+// run concurrently on -j workers, results are deduplicated by content
+// fingerprint (figures sharing a cell simulate it once), an optional
+// -cache file carries results across invocations (a warm rerun performs
+// zero simulations), and -baseline gates the fresh report against a
+// committed reference. The rendered output is bit-identical for any -j.
+//
 // Usage:
 //
-//	paperbench [-scale small] [-procs 64] [targets...]
+//	paperbench [-scale small] [-procs 64] [-j N] [-cache results.jsonl]
+//	           [-baseline BENCH_baseline.json -tol 0] [targets...]
 //
 // Targets: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 sweep
 // mp3dquality all (default: all); extensions: ablate, scaling, dsm.
@@ -19,25 +27,37 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lazyrc"
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
 	"lazyrc/internal/exp"
+	"lazyrc/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	var (
-		scaleFlag = flag.String("scale", "small", "input scale: tiny, small, medium, paper")
-		procs     = flag.Int("procs", 64, "number of processors")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
-		jsonOut   = flag.String("json", "", "also write a machine-readable report to this file")
-		seed      = flag.Uint64("seed", 1, "base random seed stamped into every run's configuration; a report plus its seed fully determines a replay")
+		scaleFlag  = flag.String("scale", "small", "input scale: tiny, small, medium, paper")
+		procs      = flag.Int("procs", 64, "number of processors")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		jsonOut    = flag.String("json", "", "also write a machine-readable report to this file")
+		seed       = flag.Uint64("seed", 1, "base random seed stamped into every run's configuration; a report plus its seed fully determines a replay")
+		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count; results are bit-identical for any value")
+		cacheFile  = flag.String("cache", "", "content-addressed JSONL result store; fingerprint-identical runs are served from it instead of re-simulating")
+		baseline   = flag.String("baseline", "", "regression-gate baseline report (JSON); out-of-tolerance drift exits non-zero")
+		tol        = flag.Float64("tol", 0, "gate tolerance on cycle counts and traffic, in percent of the baseline value")
+		writeBase  = flag.String("write-baseline", "", "write the canonical (provenance-free) report to this file, for committing as the gate baseline")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 
 	scale, err := lazyrc.ParseScale(*scaleFlag)
 	if err != nil {
@@ -53,18 +73,33 @@ func main() {
 	}
 	all := want["all"]
 
-	e := exp.NewEvaluator(scale, *procs)
-	e.Seed = *seed
-	var progress func(string)
-	if !*quiet {
-		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
-		e.Progress = progress
+	var store *runner.Store
+	if *cacheFile != "" {
+		store, err = runner.OpenStore(*cacheFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := store.Recovered(); n > 0 && !*quiet {
+			fmt.Fprintf(os.Stderr, "cache: skipped %d corrupt line(s) in %s; affected runs will re-simulate\n", n, *cacheFile)
+		}
 	}
+	rn := runner.New(*workers, store)
+	if !*quiet {
+		rn.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	e := exp.NewEvaluatorWith(scale, *procs, rn)
+	e.Seed = *seed
 
 	start := time.Now()
 	emit := func(name, body string) {
 		fmt.Println(body)
 	}
+
+	// Fan the whole requested matrix out to the worker pool before any
+	// rendering: rendering then reads memoized cells in table order, so
+	// the output is deterministic while the simulations were not.
+	e.Prefetch(exp.TargetCells(targets))
 
 	if all || want["table1"] {
 		emit("table1", exp.Table1(config.Default(*procs)))
@@ -95,7 +130,7 @@ func main() {
 	}
 	if all || want["sweep"] {
 		for _, sw := range exp.Sweeps() {
-			emit("sweep", exp.RunSweep(scale, *procs, sw, progress))
+			emit("sweep", exp.RunSweep(rn, scale, *procs, sw))
 		}
 	}
 	if all || want["mp3dquality"] {
@@ -103,35 +138,113 @@ func main() {
 	}
 	if want["ablate"] {
 		for _, ab := range exp.Ablations() {
-			emit("ablate", exp.RunAblation(scale, *procs, ab, progress))
+			emit("ablate", exp.RunAblation(rn, scale, *procs, ab))
 		}
 	}
 	if want["dsm"] {
-		emit("dsm", exp.LazierUnderSoftwareCoherence(scale, *procs, "locusroute", progress))
+		emit("dsm", exp.LazierUnderSoftwareCoherence(rn, scale, *procs, "locusroute"))
 	}
 	if want["scaling"] {
 		for _, app := range []string{"mp3d", "blu", "gauss"} {
-			emit("scaling", exp.RunScaling(scale, app, exp.ScalingCounts, progress))
+			emit("scaling", exp.RunScaling(rn, scale, app, exp.ScalingCounts))
 		}
 	}
 
+	exitCode := 0
 	if err := e.VerifyAll(); err != nil {
-		log.Fatalf("a run failed verification: %v", err)
+		fmt.Fprintf(os.Stderr, "paperbench: a run failed verification: %v\n", err)
+		exitCode = 1
 	}
+	report := e.Report()
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
+		writeReport(*jsonOut, report)
+	}
+	if *writeBase != "" {
+		writeReport(*writeBase, report.Stable())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "baseline written to %s (%d runs)\n", *writeBase, len(report.Runs))
+		}
+	}
+	if *baseline != "" {
+		base, err := exp.LoadReport(*baseline)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := e.WriteJSON(f); err != nil {
-			log.Fatal(err)
+		if viols := exp.Gate(base, report, *tol); len(viols) > 0 {
+			for _, v := range viols {
+				fmt.Fprintf(os.Stderr, "gate: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "gate: FAILED against %s: %d violation(s) at tolerance %.3f%%\n",
+				*baseline, len(viols), *tol)
+			exitCode = 1
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "gate: ok against %s (%d runs, tolerance %.3f%%)\n",
+				*baseline, len(base.Runs), *tol)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cache: %v\n", err)
+			exitCode = 1
 		}
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs (scale %s, %d procs)\n",
-			time.Since(start).Seconds(), apps.Scale(scale), *procs)
+		m := rn.Meta()
+		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs (scale %s, %d procs, %d workers; %d simulated, %d cache hits, %d failed)\n",
+			time.Since(start).Seconds(), apps.Scale(scale), *procs, m.Workers,
+			m.Simulated, m.CacheHits, m.FailedJobs)
+	}
+	stopProfiles()
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// writeReport writes a report as indented JSON, fataling on any error
+// (paperbench output files are the whole point of the invocation).
+func writeReport(path string, r exp.Report) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.WriteReportJSON(f, r); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges heap profiling; the
+// returned stop function flushes both. Kept out of defer chains so the
+// explicit os.Exit paths still flush profiles.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
 	}
 }

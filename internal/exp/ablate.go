@@ -6,6 +6,7 @@ import (
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
+	"lazyrc/internal/runner"
 )
 
 // Ablations exercise the design choices §2 of the paper argues for,
@@ -37,35 +38,44 @@ type Ablation struct {
 // protocols always yield performance improvements" — predicts the ratio
 // crosses from >1 (lazier loses) toward ≤1 (lazier wins) when the
 // overlap is taken away.
-func LazierUnderSoftwareCoherence(scale apps.Scale, procs int, appName string, progress func(string)) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "DSM contrast: %s, %d procs (lazy-ext time / lazy time)\n", appName, procs)
+func LazierUnderSoftwareCoherence(rn *runner.Runner, scale apps.Scale, procs int, appName string) string {
+	var jobs []runner.Job
 	for _, software := range []bool{false, true} {
-		times := map[string]uint64{}
 		for _, proto := range []string{"lrc", "lrc-ext"} {
-			if progress != nil {
-				progress(fmt.Sprintf("running %-10s %-7s (software=%v)", appName, proto, software))
-			}
 			cfg := config.Default(procs)
 			cfg.CacheSize = CacheForScale(scale)
 			cfg.SoftwareCoherence = software
-			app, err := apps.New(appName, scale)
-			if err != nil {
-				panic(err)
-			}
-			m, verr := apps.Run(cfg, proto, app)
-			if verr != nil {
-				panic(fmt.Sprintf("exp: DSM contrast run failed verification: %v", verr))
-			}
-			times[proto] = m.Stats.ExecutionTime()
+			jobs = append(jobs, runner.Job{App: appName, Scale: scale, Proto: proto, Cfg: cfg})
 		}
+	}
+	results := rn.DoAll(jobs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "DSM contrast: %s, %d procs (lazy-ext time / lazy time)\n", appName, procs)
+	for i, software := range []bool{false, true} {
+		lrc, ext := results[2*i], results[2*i+1]
 		mode := "hardware protocol processor"
 		if software {
 			mode = "software coherence (no overlap)"
 		}
-		fmt.Fprintf(&b, "  %-34s %.3f\n", mode, float64(times["lrc-ext"])/float64(times["lrc"]))
+		if err := firstErr(lrc, ext); err != nil {
+			fmt.Fprintf(&b, "  %-34s failed: %v\n", mode, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-34s %.3f\n", mode, float64(ext.ExecCycles)/float64(lrc.ExecCycles))
 	}
 	return b.String()
+}
+
+// firstErr returns the first failure or verification error in a result
+// group — sweep renderers print it in place of the affected cell.
+func firstErr(results ...*runner.Result) error {
+	for _, r := range results {
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Ablations returns the ablation suite.
@@ -135,29 +145,29 @@ func Ablations() []Ablation {
 	}
 }
 
-// RunAblation executes one ablation sweep and renders it.
-func RunAblation(scale apps.Scale, procs int, ab Ablation, progress func(string)) string {
+// RunAblation executes one ablation sweep — all points concurrently on
+// the runner's pool — and renders it.
+func RunAblation(rn *runner.Runner, scale apps.Scale, procs int, ab Ablation) string {
+	jobs := make([]runner.Job, len(ab.Points))
+	for i, v := range ab.Points {
+		cfg := config.Default(procs)
+		cfg.CacheSize = CacheForScale(scale)
+		ab.Mut(&cfg, v)
+		jobs[i] = runner.Job{App: ab.App, Scale: scale, Proto: ab.Proto, Cfg: cfg}
+	}
+	results := rn.DoAll(jobs)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation: %s\n", ab.Name)
 	fmt.Fprintf(&b, "  %s under %s, %d procs, %s inputs\n", ab.App, ab.Proto, procs, scale)
 	base := -1.0
-	for _, v := range ab.Points {
-		cfg := config.Default(procs)
-		cfg.CacheSize = CacheForScale(scale)
-		ab.Mut(&cfg, v)
-		if progress != nil {
-			progress(fmt.Sprintf("running %-10s %-7s (%s = %s)", ab.App, ab.Proto, ab.Name[:20], ab.Label(v)))
+	for i, v := range ab.Points {
+		res := results[i]
+		if err := res.Err(); err != nil {
+			fmt.Fprintf(&b, "  %-14s failed: %v\n", ab.Label(v), err)
+			continue
 		}
-		app, err := apps.New(ab.App, scale)
-		if err != nil {
-			panic(err)
-		}
-		m, verr := apps.Run(cfg, ab.Proto, app)
-		if verr != nil {
-			panic(fmt.Sprintf("exp: ablation run failed verification: %v", verr))
-		}
-		r := &Run{ExecTime: m.Stats.ExecutionTime()}
-		val := ab.Metric(r)
+		val := ab.Metric(runFromResult(res, "ablation"))
 		rel := ""
 		if base < 0 {
 			base = val

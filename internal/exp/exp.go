@@ -12,6 +12,7 @@ import (
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
+	"lazyrc/internal/runner"
 	"lazyrc/internal/stats"
 )
 
@@ -31,22 +32,47 @@ type Run struct {
 }
 
 // Evaluator runs and memoizes experiments at one scale and machine size.
+// Execution is delegated to a runner.Runner, which deduplicates cells
+// shared between tables and figures, executes batches on a worker pool,
+// and (when given a store) reuses results across processes.
 type Evaluator struct {
 	Scale apps.Scale
 	Procs int
-	// Progress, when non-nil, receives a line per fresh run.
+	// Progress, when non-nil, receives a line per fresh run. It is
+	// forwarded to the runner the evaluator creates; when the evaluator
+	// is built with NewEvaluatorWith, set Progress on the runner instead.
 	Progress func(string)
 	// Seed is stamped into every run's configuration so seed-dependent
 	// subsystems (fault injection) replay identically across evaluations.
 	Seed uint64
+	// R executes the evaluator's jobs. Nil means a serial runner with no
+	// store is created on first use.
+	R *runner.Runner
 
 	runs map[string]*Run
 }
 
 // NewEvaluator returns an evaluator for the given scale and machine size
-// (the paper evaluates 64 processors).
+// (the paper evaluates 64 processors). Runs execute serially; use
+// NewEvaluatorWith to share a worker pool and result cache.
 func NewEvaluator(scale apps.Scale, procs int) *Evaluator {
-	return &Evaluator{Scale: scale, Procs: procs, runs: make(map[string]*Run)}
+	return NewEvaluatorWith(scale, procs, nil)
+}
+
+// NewEvaluatorWith returns an evaluator that executes through the given
+// runner (nil behaves like NewEvaluator).
+func NewEvaluatorWith(scale apps.Scale, procs int, r *runner.Runner) *Evaluator {
+	return &Evaluator{Scale: scale, Procs: procs, R: r, runs: make(map[string]*Run)}
+}
+
+// engine returns the evaluator's runner, creating a serial one on first
+// use so the zero configuration keeps its historical behaviour.
+func (e *Evaluator) engine() *runner.Runner {
+	if e.R == nil {
+		e.R = runner.New(1, nil)
+		e.R.Progress = e.Progress
+	}
+	return e.R
 }
 
 // configFor materializes a named machine configuration. The cache size
@@ -85,31 +111,54 @@ func CacheForScale(s apps.Scale) int {
 	}
 }
 
-// Get runs (or recalls) one experiment cell.
+// Job materializes the runner job for one experiment cell.
+func (e *Evaluator) Job(cfgName, appName, proto string) runner.Job {
+	return runner.Job{App: appName, Scale: e.Scale, Proto: proto, Cfg: e.configFor(cfgName)}
+}
+
+// Get runs (or recalls) one experiment cell. The runner deduplicates by
+// content fingerprint, so a cell already simulated by Prefetch — or by a
+// previous process sharing the result store — is served without
+// re-simulation. A crashed run surfaces as a Run whose VerifyErr carries
+// the failure, not as a panic of the whole evaluation.
 func (e *Evaluator) Get(cfgName, appName, proto string) *Run {
 	key := cfgName + "/" + appName + "/" + proto
 	if r, ok := e.runs[key]; ok {
 		return r
 	}
-	if e.Progress != nil {
-		e.Progress(fmt.Sprintf("running %-10s %-7s (%s, %s, %d procs)", appName, proto, cfgName, e.Scale, e.Procs))
-	}
-	app, err := apps.New(appName, e.Scale)
-	if err != nil {
-		panic(err)
-	}
-	m, verr := apps.Run(e.configFor(cfgName), proto, app)
-	r := &Run{App: appName, Proto: proto, Config: cfgName, VerifyErr: verr}
-	if m != nil {
-		cpu, rd, wr, sy := m.Stats.Aggregate()
-		r.ExecTime = m.Stats.ExecutionTime()
-		r.CPU, r.Read, r.Write, r.Sync = cpu, rd, wr, sy
-		r.MissRate = m.Stats.MissRate()
-		r.MissShares = m.Stats.MissShares()
-		r.Msgs, r.Bytes = m.Net.Stats()
-	}
+	res := e.engine().Do(e.Job(cfgName, appName, proto))
+	r := runFromResult(res, cfgName)
 	e.runs[key] = r
 	return r
+}
+
+// runFromResult converts a runner result into the evaluator's Run form.
+func runFromResult(res *runner.Result, cfgName string) *Run {
+	r := &Run{
+		App: res.App, Proto: res.Proto, Config: cfgName,
+		ExecTime: res.ExecCycles,
+		CPU:      res.CPUCycles, Read: res.ReadCycles,
+		Write: res.WriteCycles, Sync: res.SyncCycles,
+		MissRate:   res.MissRate,
+		MissShares: res.MissShares,
+		Msgs:       res.Msgs, Bytes: res.Bytes,
+	}
+	if err := res.Err(); err != nil {
+		r.VerifyErr = err
+	}
+	return r
+}
+
+// Prefetch simulates the given (config, app, protocol) cells through the
+// runner's worker pool. Rendering afterwards reads every cell from the
+// in-process memo, so table and figure order stays deterministic while
+// the simulations themselves ran concurrently.
+func (e *Evaluator) Prefetch(cells [][3]string) {
+	jobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = e.Job(c[0], c[1], c[2])
+	}
+	e.engine().DoAll(jobs)
 }
 
 // Runs returns all memoized runs, sorted by key (for reports).

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
+	"lazyrc/internal/runner"
 )
 
 func tinyEvaluator() *Evaluator { return NewEvaluator(apps.Tiny, 8) }
@@ -128,7 +130,7 @@ func TestRunAblationExecutes(t *testing.T) {
 			ab = a
 		}
 	}
-	out := RunAblation(apps.Tiny, 4, ab, nil)
+	out := RunAblation(runner.New(2, nil), apps.Tiny, 4, ab)
 	if !strings.Contains(out, "overlapped") || !strings.Contains(out, "after grant") {
 		t.Fatalf("ablation output malformed:\n%s", out)
 	}
@@ -187,7 +189,7 @@ func TestRunSweepExecutes(t *testing.T) {
 		Points: []int{64, 128},
 		Label:  func(v int) string { return "x" },
 	}
-	out := RunSweep(apps.Tiny, 4, sw, nil)
+	out := RunSweep(runner.New(4, nil), apps.Tiny, 4, sw)
 	if !strings.Contains(out, "mp3d") || !strings.Contains(out, "gauss") {
 		t.Fatalf("sweep output malformed:\n%s", out)
 	}
@@ -209,7 +211,7 @@ func TestRunScalingExecutes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	out := RunScaling(apps.Tiny, "fft", []int{2, 4}, nil)
+	out := RunScaling(runner.New(2, nil), apps.Tiny, "fft", []int{2, 4})
 	if !strings.Contains(out, "ratio") || !strings.Contains(out, "fft") {
 		t.Fatalf("scaling output malformed:\n%s", out)
 	}
@@ -219,9 +221,121 @@ func TestLazierUnderSoftwareCoherence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	out := LazierUnderSoftwareCoherence(apps.Tiny, 8, "locusroute", nil)
+	out := LazierUnderSoftwareCoherence(runner.New(4, nil), apps.Tiny, 8, "locusroute")
 	if !strings.Contains(out, "hardware protocol processor") ||
 		!strings.Contains(out, "software coherence") {
 		t.Fatalf("DSM contrast output malformed:\n%s", out)
+	}
+}
+
+func TestTargetCells(t *testing.T) {
+	all := TargetCells([]string{"all"})
+	if len(all) == 0 {
+		t.Fatal("no cells for 'all'")
+	}
+	seen := map[[3]string]bool{}
+	for _, c := range all {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+	// Full matrix: 7 apps × (4 protocols on default + 4 on future).
+	if want := len(AppOrder) * 8; len(all) != want {
+		t.Fatalf("all target cells = %d, want %d", len(all), want)
+	}
+	// fig4 needs the SC baseline even though it only plots erc and lrc.
+	fig4 := TargetCells([]string{"fig4"})
+	var hasSC bool
+	for _, c := range fig4 {
+		if c[2] == "sc" {
+			hasSC = true
+		}
+	}
+	if !hasSC {
+		t.Fatal("fig4 cells omit the sc normalization baseline")
+	}
+	if got := TargetCells([]string{"sweep", "mp3dquality"}); len(got) != 0 {
+		t.Fatalf("non-matrix targets expanded to %d cells, want 0", len(got))
+	}
+}
+
+// reportBytes renders a report for byte comparison across worker counts:
+// runner provenance (worker count, wall time) is dropped, every result
+// field is kept.
+func reportBytes(t *testing.T, e *Evaluator) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, e.Report().Stable()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSerialDeterminism is the runner's core contract: a report
+// produced on 8 workers is byte-identical to one produced serially, and
+// so is every rendered table and figure.
+func TestParallelSerialDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the tiny matrix twice")
+	}
+	targets := []string{"table2", "table3", "fig4", "fig6", "fig8"}
+	render := func(e *Evaluator) string {
+		return Table2(e) + Table3(e) + Fig4(e) + Fig6(e) + Fig8(e)
+	}
+
+	serial := NewEvaluatorWith(apps.Tiny, 4, runner.New(1, nil))
+	serial.Prefetch(TargetCells(targets))
+	serialOut := render(serial)
+
+	parallel := NewEvaluatorWith(apps.Tiny, 4, runner.New(8, nil))
+	parallel.Prefetch(TargetCells(targets))
+	parallelOut := render(parallel)
+
+	if serialOut != parallelOut {
+		t.Fatal("rendered tables differ between -j 1 and -j 8")
+	}
+	if !bytes.Equal(reportBytes(t, serial), reportBytes(t, parallel)) {
+		t.Fatal("JSON reports differ between -j 1 and -j 8")
+	}
+	if m := parallel.R.Meta(); m.Simulated != len(TargetCells(targets)) {
+		t.Fatalf("parallel runner simulated %d jobs, want %d (dedup broken?)",
+			m.Simulated, len(TargetCells(targets)))
+	}
+}
+
+// TestEvaluatorSharedStore drives two evaluators through one store: the
+// second must simulate nothing and produce the identical report.
+func TestEvaluatorSharedStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	path := t.TempDir() + "/results.jsonl"
+	cells := TargetCells([]string{"table3"})
+
+	cold, err := runner.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEvaluatorWith(apps.Tiny, 4, runner.New(4, cold))
+	e1.Prefetch(cells)
+	rep1 := reportBytes(t, e1)
+	if m := e1.R.Meta(); m.Simulated == 0 || m.CacheHits != 0 {
+		t.Fatalf("cold run meta: %+v", m)
+	}
+
+	warm, err := runner.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEvaluatorWith(apps.Tiny, 4, runner.New(4, warm))
+	e2.Prefetch(cells)
+	rep2 := reportBytes(t, e2)
+	if m := e2.R.Meta(); m.Simulated != 0 || m.CacheHits != len(cells) {
+		t.Fatalf("warm run simulated %d (want 0), hits %d (want %d)",
+			m.Simulated, m.CacheHits, len(cells))
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatal("cache-served report differs from the simulated one")
 	}
 }

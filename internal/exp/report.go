@@ -5,18 +5,32 @@ import (
 	"fmt"
 	"io"
 
+	"lazyrc/internal/runner"
 	"lazyrc/internal/stats"
 )
 
 // Report is the machine-readable form of an evaluation: every memoized
 // run with its full measurements, keyed for downstream tooling (plotting,
-// regression tracking). Rendered by `paperbench -json`.
+// regression tracking). Rendered by `paperbench -json`, committed (in
+// Stable form) as the regression-gate baseline.
 type Report struct {
 	// Scale and Procs identify the evaluation point.
 	Scale string `json:"scale"`
 	Procs int    `json:"procs"`
+	// Runner records how the evaluation executed: worker count, wall
+	// time, cache hits and misses, failed jobs. Within it only Workers
+	// and WallMS are volatile — every other field, like Runs itself, is
+	// bit-identical between a -j 1 and a -j 8 evaluation.
+	Runner *runner.Meta `json:"runner,omitempty"`
 	// Runs are all (config, app, protocol) cells executed.
 	Runs []ReportRun `json:"runs"`
+}
+
+// Stable returns a copy suitable for byte comparison across worker
+// counts and reruns: runner provenance is dropped, results are kept.
+func (r Report) Stable() Report {
+	r.Runner = nil
+	return r
 }
 
 // ReportRun is one run's measurements.
@@ -45,9 +59,14 @@ type ReportRun struct {
 	Error    string `json:"error,omitempty"`
 }
 
-// Report assembles the machine-readable report from all memoized runs.
+// Report assembles the machine-readable report from all memoized runs,
+// stamped with the runner's execution record.
 func (e *Evaluator) Report() Report {
 	rep := Report{Scale: e.Scale.String(), Procs: e.Procs}
+	if e.R != nil {
+		meta := e.R.Meta()
+		rep.Runner = &meta
+	}
 	for _, r := range e.Runs() {
 		rr := ReportRun{
 			Config:     r.Config,
@@ -81,9 +100,16 @@ func (e *Evaluator) Report() Report {
 
 // WriteJSON writes the report as indented JSON.
 func (e *Evaluator) WriteJSON(w io.Writer) error {
+	return WriteReportJSON(w, e.Report())
+}
+
+// WriteReportJSON writes any report as indented JSON — the one encoding
+// used for -json output and committed baselines, so the two are
+// byte-comparable.
+func WriteReportJSON(w io.Writer, r Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(e.Report()); err != nil {
+	if err := enc.Encode(r); err != nil {
 		return fmt.Errorf("exp: encoding report: %w", err)
 	}
 	return nil

@@ -6,42 +6,42 @@ import (
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
+	"lazyrc/internal/runner"
 )
 
 // RunScaling reports how the lazy protocol's advantage moves with the
 // machine size — an extension beyond the paper's fixed 64-processor
 // evaluation. For each processor count it runs the application under
-// eager and lazy release consistency and prints the execution times and
-// their ratio. More processors mean more sharers per weak block (larger
-// notice fan-out) but also more concurrency for the eager protocol's
-// transfers to serialize.
-func RunScaling(scale apps.Scale, appName string, counts []int, progress func(string)) string {
+// eager and lazy release consistency (all sizes concurrently, through
+// the runner) and prints the execution times and their ratio. More
+// processors mean more sharers per weak block (larger notice fan-out)
+// but also more concurrency for the eager protocol's transfers to
+// serialize.
+func RunScaling(rn *runner.Runner, scale apps.Scale, appName string, counts []int) string {
+	jobs := make([]runner.Job, 0, 2*len(counts))
+	for _, np := range counts {
+		cfg := config.Default(np)
+		cfg.CacheSize = CacheForScale(scale)
+		jobs = append(jobs,
+			runner.Job{App: appName, Scale: scale, Proto: "erc", Cfg: cfg},
+			runner.Job{App: appName, Scale: scale, Proto: "lrc", Cfg: cfg})
+	}
+	results := rn.DoAll(jobs)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scaling: %s, %s inputs (execution cycles; ratio = lazy/eager)\n", appName, scale)
 	fmt.Fprintf(&b, "  %6s %14s %14s %8s\n", "procs", "eager", "lazy", "ratio")
-	for _, np := range counts {
-		times := map[string]uint64{}
-		for _, proto := range []string{"erc", "lrc"} {
-			if progress != nil {
-				progress(fmt.Sprintf("running %-10s %-4s (%d procs)", appName, proto, np))
-			}
-			cfg := config.Default(np)
-			cfg.CacheSize = CacheForScale(scale)
-			app, err := apps.New(appName, scale)
-			if err != nil {
-				panic(err)
-			}
-			m, verr := apps.Run(cfg, proto, app)
-			if verr != nil {
-				panic(fmt.Sprintf("exp: scaling run failed verification: %v", verr))
-			}
-			times[proto] = m.Stats.ExecutionTime()
+	for i, np := range counts {
+		eager, lazy := results[2*i], results[2*i+1]
+		if err := firstErr(eager, lazy); err != nil {
+			fmt.Fprintf(&b, "  %6d failed: %v\n", np, err)
+			continue
 		}
 		ratio := 0.0
-		if times["erc"] > 0 {
-			ratio = float64(times["lrc"]) / float64(times["erc"])
+		if eager.ExecCycles > 0 {
+			ratio = float64(lazy.ExecCycles) / float64(eager.ExecCycles)
 		}
-		fmt.Fprintf(&b, "  %6d %14d %14d %8.3f\n", np, times["erc"], times["lrc"], ratio)
+		fmt.Fprintf(&b, "  %6d %14d %14d %8.3f\n", np, eager.ExecCycles, lazy.ExecCycles, ratio)
 	}
 	return b.String()
 }

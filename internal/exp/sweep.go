@@ -6,6 +6,7 @@ import (
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
+	"lazyrc/internal/runner"
 )
 
 // Sweep reproduces the §4.3 sensitivity experiments in which memory
@@ -53,8 +54,26 @@ func Sweeps() []Sweep {
 var SweepApps = []string{"mp3d", "locusroute", "gauss"}
 
 // RunSweep renders one sweep: the lazy/eager execution-time ratio per
-// application per point.
-func RunSweep(scale apps.Scale, procs int, sw Sweep, progress func(string)) string {
+// application per point. All (app × point × protocol) runs are submitted
+// to the runner as one batch, so they execute concurrently on its worker
+// pool — and any point shared with another figure or a previous process
+// (via the runner's store) is never simulated twice.
+func RunSweep(rn *runner.Runner, scale apps.Scale, procs int, sw Sweep) string {
+	// Plan the batch: two protocols per (app, point) cell, app-major, so
+	// cell (ai, pi) lands at results[(ai*len(Points)+pi)*2] (eager) and
+	// the slot after it (lazy).
+	var jobs []runner.Job
+	for _, appName := range SweepApps {
+		for _, v := range sw.Points {
+			cfg := config.Default(procs)
+			sw.Mut(&cfg, v)
+			jobs = append(jobs,
+				runner.Job{App: appName, Scale: scale, Proto: "erc", Cfg: cfg},
+				runner.Job{App: appName, Scale: scale, Proto: "lrc", Cfg: cfg})
+		}
+	}
+	results := rn.DoAll(jobs)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sensitivity: %s (lazy execution time / eager execution time)\n", sw.Name)
 	fmt.Fprintf(&b, "  %-12s", "Application")
@@ -62,44 +81,30 @@ func RunSweep(scale apps.Scale, procs int, sw Sweep, progress func(string)) stri
 		fmt.Fprintf(&b, " %14s", sw.Label(v))
 	}
 	fmt.Fprintln(&b)
-	for _, appName := range SweepApps {
+	for ai, appName := range SweepApps {
 		fmt.Fprintf(&b, "  %-12s", appName)
-		for _, v := range sw.Points {
-			cfg := config.Default(procs)
-			sw.Mut(&cfg, v)
-			ratio := ratioLazyEager(cfg, scale, appName, progress)
-			fmt.Fprintf(&b, " %14.3f", ratio)
+		for pi := range sw.Points {
+			base := (ai*len(sw.Points) + pi) * 2
+			eager, lazy := results[base], results[base+1]
+			if eager.Failed() || lazy.Failed() || eager.ExecCycles == 0 {
+				fmt.Fprintf(&b, " %14s", "failed")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.3f", float64(lazy.ExecCycles)/float64(eager.ExecCycles))
 		}
 		fmt.Fprintln(&b)
 	}
 	return b.String()
 }
 
-func ratioLazyEager(cfg config.Config, scale apps.Scale, appName string, progress func(string)) float64 {
-	times := map[string]uint64{}
-	for _, proto := range []string{"erc", "lrc"} {
-		if progress != nil {
-			progress(fmt.Sprintf("running %-10s %-4s (line %d, mem %d, bw %d)",
-				appName, proto, cfg.LineSize, cfg.MemSetup, cfg.MemBW))
-		}
-		app, err := apps.New(appName, scale)
-		if err != nil {
-			panic(err)
-		}
-		m, _ := apps.Run(cfg, proto, app)
-		times[proto] = m.Stats.ExecutionTime()
-	}
-	if times["erc"] == 0 {
-		return 0
-	}
-	return float64(times["lrc"]) / float64(times["erc"])
-}
-
 // Mp3dQuality reproduces the §4.2 quality-of-solution experiment: the
 // cumulative per-axis velocity vector of mp3d run with immediate
 // visibility (the SC execution) versus with stale, lazily propagated cell
 // densities. The paper found the Y and Z components within 0.1% and X
-// within 6.7%.
+// within 6.7%. It runs its two specially constructed app instances
+// directly rather than through the runner: the StaleReads mutation is
+// not part of a Job spec, and caching a mutated run under the plain
+// mp3d fingerprint would poison the cache.
 func Mp3dQuality(scale apps.Scale, procs int) string {
 	cfg := config.Default(procs)
 

@@ -1,0 +1,56 @@
+package exp
+
+// targetProtos maps each matrix-backed paperbench target to the machine
+// configuration and protocol set its rendering reads. The normalized-time
+// figures divide by the SC run, so "sc" is part of their read set even
+// when it is not a plotted bar.
+var targetProtos = map[string]struct {
+	cfg    string
+	protos []string
+}{
+	"table2": {"default", []string{"erc"}},
+	"table3": {"default", []string{"erc", "lrc", "lrc-ext"}},
+	"fig4":   {"default", []string{"sc", "erc", "lrc"}},
+	"fig5":   {"default", []string{"sc", "erc", "lrc"}},
+	"fig6":   {"default", []string{"sc", "lrc", "lrc-ext"}},
+	"fig7":   {"default", []string{"sc", "lrc", "lrc-ext"}},
+	"fig8":   {"future", []string{"sc", "erc", "lrc", "lrc-ext"}},
+	"fig9":   {"future", []string{"sc", "erc", "lrc", "lrc-ext"}},
+}
+
+// matrixTargets is the planning order — a stable order keeps the job
+// submission sequence (and therefore progress output under -j 1)
+// deterministic.
+var matrixTargets = []string{
+	"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+}
+
+// TargetCells expands the requested paperbench targets ("all" or any of
+// table2..fig9; non-matrix targets such as sweeps are ignored) into the
+// deduplicated list of (config, app, protocol) cells their rendering
+// consumes, in a deterministic order suitable for Evaluator.Prefetch.
+func TargetCells(targets []string) [][3]string {
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+	seen := map[[3]string]bool{}
+	var cells [][3]string
+	for _, t := range matrixTargets {
+		if !all && !want[t] {
+			continue
+		}
+		spec := targetProtos[t]
+		for _, app := range AppOrder {
+			for _, proto := range spec.protos {
+				cell := [3]string{spec.cfg, app, proto}
+				if !seen[cell] {
+					seen[cell] = true
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells
+}

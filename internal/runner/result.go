@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/stats"
+)
+
+// Result is one job's measurements. It is the unit stored in the
+// content-addressed cache, so every field that downstream consumers read
+// must round-trip exactly through JSON: integers are exact by
+// construction, and Go's float64 encoding is shortest-form and
+// re-parses bit-identically, so a cache-served result renders the same
+// report bytes as a freshly simulated one.
+type Result struct {
+	Fingerprint string `json:"fp"`
+	App         string `json:"app"`
+	Scale       string `json:"scale"`
+	Proto       string `json:"proto"`
+
+	ExecCycles  uint64 `json:"exec_cycles"`
+	CPUCycles   uint64 `json:"cpu_cycles"`
+	ReadCycles  uint64 `json:"read_cycles"`
+	WriteCycles uint64 `json:"write_cycles"`
+	SyncCycles  uint64 `json:"sync_cycles"`
+
+	MissRate   float64                       `json:"miss_rate"`
+	MissShares [stats.NumMissKinds]float64   `json:"miss_shares"`
+
+	Msgs  uint64 `json:"network_msgs"`
+	Bytes uint64 `json:"network_bytes"`
+
+	// VerifyErr records a deterministic numerical-verification failure.
+	// Such results are still cacheable: the same job always fails the
+	// same way.
+	VerifyErr string `json:"verify_err,omitempty"`
+
+	// Failure records an execution failure — a panic inside the
+	// simulation or an error constructing the machine or application.
+	// Failed results are never cached, so a rerun retries the job.
+	Failure string `json:"-"`
+
+	// Cached marks a result served from the store rather than simulated.
+	// Provenance only; never serialized, never rendered.
+	Cached bool `json:"-"`
+}
+
+// Failed reports whether the job crashed (as opposed to completing,
+// possibly with a verification error).
+func (r *Result) Failed() bool { return r.Failure != "" }
+
+// Err folds both failure modes into one error: nil for a clean run, the
+// failure for a crashed job, the verification error otherwise.
+func (r *Result) Err() error {
+	switch {
+	case r.Failure != "":
+		return errors.New(r.Failure)
+	case r.VerifyErr != "":
+		return errors.New(r.VerifyErr)
+	}
+	return nil
+}
+
+// simulate executes one job and fills in its measurements. It is a
+// package variable so tests can substitute a crashing body to exercise
+// panic capture.
+var simulate = func(j Job, res *Result) error {
+	app, err := apps.New(j.App, j.Scale)
+	if err != nil {
+		return err
+	}
+	if err := j.Cfg.Validate(); err != nil {
+		return err
+	}
+	m, verr := apps.Run(j.Cfg, j.Proto, app)
+	if verr != nil {
+		res.VerifyErr = verr.Error()
+	}
+	if m != nil {
+		cpu, rd, wr, sy := m.Stats.Aggregate()
+		res.ExecCycles = m.Stats.ExecutionTime()
+		res.CPUCycles, res.ReadCycles, res.WriteCycles, res.SyncCycles = cpu, rd, wr, sy
+		res.MissRate = m.Stats.MissRate()
+		res.MissShares = m.Stats.MissShares()
+		res.Msgs, res.Bytes = m.Net.Stats()
+	}
+	return nil
+}
+
+// Exec runs one job synchronously. A panic anywhere inside the
+// simulation is captured into the result's Failure field — one crashing
+// run yields a failed-job record, not a dead sweep.
+func Exec(j Job) *Result {
+	res := &Result{
+		Fingerprint: j.Fingerprint(),
+		App:         j.App,
+		Scale:       j.Scale.String(),
+		Proto:       j.Proto,
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				res.Failure = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		if err := simulate(j, res); err != nil {
+			res.Failure = err.Error()
+		}
+	}()
+	return res
+}

@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runner executes jobs on a bounded worker pool, deduplicating by
+// fingerprint (two figures sharing a matrix point simulate it once, even
+// when requested concurrently) and reusing results from an optional
+// content-addressed store.
+type Runner struct {
+	// Progress, when non-nil, receives one line per job event (cache
+	// hit, simulation start, failure). Calls may come from concurrent
+	// workers; each call carries one complete line.
+	Progress func(string)
+
+	workers int
+	store   *Store
+	sem     chan struct{}
+	start   time.Time
+
+	mu       sync.Mutex
+	done     map[string]*Result
+	inflight map[string]chan struct{}
+	meta     Meta
+}
+
+// Meta is the runner's execution record, attached to reports. Simulated,
+// CacheHits, CacheMisses, and FailedJobs are deterministic for a given
+// job set and cache state; Workers and WallMS are volatile provenance
+// (how the results were obtained, not what they are) and are the only
+// fields that may differ between a -j 1 and a -j 8 run.
+type Meta struct {
+	Workers        int   `json:"workers"`
+	WallMS         int64 `json:"wall_ms"`
+	Simulated      int   `json:"simulated"`
+	CacheHits      int   `json:"cache_hits"`
+	CacheMisses    int   `json:"cache_misses"`
+	FailedJobs     int   `json:"failed_jobs"`
+	CacheRecovered int   `json:"cache_recovered,omitempty"`
+}
+
+// Stable returns a copy with the volatile fields zeroed — the form used
+// when byte-comparing reports across worker counts or machines.
+func (m Meta) Stable() Meta {
+	m.Workers = 0
+	m.WallMS = 0
+	return m
+}
+
+// New returns a runner with the given concurrency (minimum 1) and an
+// optional result store (nil disables caching).
+func New(workers int, store *Store) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		workers:  workers,
+		store:    store,
+		sem:      make(chan struct{}, workers),
+		start:    time.Now(),
+		done:     make(map[string]*Result),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// Workers reports the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Do executes one job, blocking until its result is available. Results
+// are resolved in order: in-process memo, then in-flight duplicate, then
+// the store, then a worker slot. Safe for concurrent use.
+func (r *Runner) Do(job Job) *Result {
+	fp := job.Fingerprint()
+	for {
+		r.mu.Lock()
+		if res, ok := r.done[fp]; ok {
+			r.mu.Unlock()
+			return res
+		}
+		wait, ok := r.inflight[fp]
+		if !ok {
+			r.inflight[fp] = make(chan struct{})
+			r.mu.Unlock()
+			break
+		}
+		r.mu.Unlock()
+		<-wait
+	}
+
+	var res *Result
+	if r.store != nil {
+		if cached, ok := r.store.Get(fp); ok {
+			cached.Cached = true
+			res = cached
+			r.note(fmt.Sprintf("cached  %s", job))
+			r.account(func(m *Meta) { m.CacheHits++ })
+		}
+	}
+	if res == nil {
+		if r.store != nil {
+			r.account(func(m *Meta) { m.CacheMisses++ })
+		}
+		r.sem <- struct{}{}
+		r.note(fmt.Sprintf("running %s", job))
+		res = Exec(job)
+		<-r.sem
+		r.account(func(m *Meta) { m.Simulated++ })
+		if res.Failed() {
+			r.note(fmt.Sprintf("FAILED  %s: %s", job, res.Failure))
+			r.account(func(m *Meta) { m.FailedJobs++ })
+		} else if r.store != nil {
+			if err := r.store.Put(res); err != nil {
+				r.note(fmt.Sprintf("cache write failed: %v", err))
+			}
+		}
+	}
+
+	r.mu.Lock()
+	r.done[fp] = res
+	wait := r.inflight[fp]
+	delete(r.inflight, fp)
+	r.mu.Unlock()
+	close(wait)
+	return res
+}
+
+// DoAll runs a batch of jobs concurrently (bounded by the pool size) and
+// returns their results in the order given, so rendering from a DoAll
+// slice is deterministic regardless of completion order.
+func (r *Runner) DoAll(jobs []Job) []*Result {
+	out := make([]*Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			out[i] = r.Do(j)
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// Meta snapshots the execution record.
+func (r *Runner) Meta() Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.meta
+	m.Workers = r.workers
+	m.WallMS = time.Since(r.start).Milliseconds()
+	if r.store != nil {
+		m.CacheRecovered = r.store.Recovered()
+	}
+	return m
+}
+
+func (r *Runner) account(f func(*Meta)) {
+	r.mu.Lock()
+	f(&r.meta)
+	r.mu.Unlock()
+}
+
+func (r *Runner) note(line string) {
+	if r.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.Progress
+	r.mu.Unlock()
+	if p != nil {
+		p(line)
+	}
+}

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/config"
+)
+
+func tinyJob(app, proto string) Job {
+	cfg := config.Default(4)
+	cfg.CacheSize = 2 << 10
+	cfg.Seed = 1
+	return Job{App: app, Scale: apps.Tiny, Proto: proto, Cfg: cfg}
+}
+
+func TestFingerprintIsContentAddressed(t *testing.T) {
+	a, b := tinyJob("gauss", "lrc"), tinyJob("gauss", "lrc")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical jobs fingerprint differently")
+	}
+	mutations := []func(*Job){
+		func(j *Job) { j.App = "fft" },
+		func(j *Job) { j.Proto = "erc" },
+		func(j *Job) { j.Scale = apps.Small },
+		func(j *Job) { j.Cfg.DirCostLRC++ },
+		func(j *Job) { j.Cfg.Seed++ },
+		func(j *Job) { j.Cfg.FaultPlan = "dup=0.01:8" },
+	}
+	seen := map[string]bool{a.Fingerprint(): true}
+	for i, mut := range mutations {
+		j := tinyJob("gauss", "lrc")
+		mut(&j)
+		fp := j.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestExecCapturesErrors(t *testing.T) {
+	res := Exec(tinyJob("no-such-app", "lrc"))
+	if !res.Failed() || res.Err() == nil {
+		t.Fatalf("unknown app should fail: %+v", res)
+	}
+	bad := tinyJob("gauss", "lrc")
+	bad.Cfg.CacheSize = 7 // fails Validate
+	if res := Exec(bad); !res.Failed() {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestExecCapturesPanics(t *testing.T) {
+	orig := simulate
+	defer func() { simulate = orig }()
+	simulate = func(j Job, res *Result) error { panic("simulated crash") }
+
+	res := Exec(tinyJob("gauss", "lrc"))
+	if !res.Failed() || !strings.Contains(res.Failure, "simulated crash") {
+		t.Fatalf("panic not captured: %+v", res)
+	}
+	// A crashing job must not take down a concurrent batch: the other
+	// results come back failed (this stub crashes everything) rather
+	// than the batch dying.
+	r := New(4, nil)
+	results := r.DoAll([]Job{tinyJob("gauss", "lrc"), tinyJob("fft", "lrc")})
+	for _, res := range results {
+		if res == nil || !res.Failed() {
+			t.Fatalf("batch result not a failure record: %+v", res)
+		}
+	}
+	if m := r.Meta(); m.FailedJobs != 2 {
+		t.Fatalf("failed jobs = %d, want 2", m.FailedJobs)
+	}
+}
+
+func TestRunnerDeduplicatesByFingerprint(t *testing.T) {
+	r := New(4, nil)
+	job := tinyJob("gauss", "sc")
+	jobs := []Job{job, job, job, tinyJob("fft", "sc")}
+	results := r.DoAll(jobs)
+	if results[0] != results[1] || results[1] != results[2] {
+		t.Fatal("duplicate jobs produced distinct result objects")
+	}
+	if m := r.Meta(); m.Simulated != 2 {
+		t.Fatalf("simulated = %d, want 2 (deduplication failed)", m.Simulated)
+	}
+	// The memo serves later Do calls without re-simulation.
+	if got := r.Do(job); got != results[0] {
+		t.Fatal("memoized result not reused")
+	}
+	if m := r.Meta(); m.Simulated != 2 {
+		t.Fatal("memoized Do re-simulated")
+	}
+}
+
+func TestRunnerConcurrencyBound(t *testing.T) {
+	orig := simulate
+	defer func() { simulate = orig }()
+	var mu sync.Mutex
+	active, peak := 0, 0
+	gate := make(chan struct{})
+	simulate = func(j Job, res *Result) error {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		<-gate
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return nil
+	}
+
+	r := New(2, nil)
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		j := tinyJob("gauss", "sc")
+		j.Cfg.Seed = uint64(i + 1) // distinct fingerprints
+		jobs[i] = j
+	}
+	done := make(chan []*Result)
+	go func() { done <- r.DoAll(jobs) }()
+	close(gate)
+	<-done
+	if peak > 2 {
+		t.Fatalf("observed %d concurrent simulations, pool size 2", peak)
+	}
+}
+
+// TestResultsIdenticalAcrossWorkerCounts runs the same small batch
+// serially and with 8 workers and requires byte-identical serialized
+// results — the foundation of the paperbench -j guarantee.
+func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	jobs := []Job{
+		tinyJob("gauss", "sc"), tinyJob("gauss", "erc"),
+		tinyJob("gauss", "lrc"), tinyJob("fft", "lrc"),
+		tinyJob("mp3d", "lrc"), tinyJob("mp3d", "erc"),
+	}
+	marshal := func(results []*Result) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := marshal(New(1, nil).DoAll(jobs))
+	parallel := marshal(New(8, nil).DoAll(jobs))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("results differ between 1 and 8 workers")
+	}
+}

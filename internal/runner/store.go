@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is a content-addressed result cache: one JSON line per result,
+// keyed by job fingerprint. The format is append-only — concurrent
+// paperbench invocations may interleave whole lines but never corrupt
+// each other's — and self-healing: lines that fail to parse (a torn
+// write, a manual edit, a truncated tail) are skipped and counted, and
+// the jobs they would have served are simply re-simulated and
+// re-appended.
+type Store struct {
+	path string
+
+	mu        sync.Mutex
+	mem       map[string]*Result
+	f         *os.File
+	recovered int // unparseable lines skipped at load
+	writeErr  error
+}
+
+// OpenStore loads (or creates) the cache at path. Corrupt lines are
+// skipped, not fatal: a damaged cache degrades to partial reuse.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, mem: make(map[string]*Result)}
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var r Result
+			if err := json.Unmarshal(line, &r); err != nil || r.Fingerprint == "" {
+				s.recovered++
+				continue
+			}
+			s.mem[r.Fingerprint] = &r
+		}
+		cerr := data.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("runner: reading cache %s: %w", path, err)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("runner: closing cache %s: %w", path, cerr)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: opening cache %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening cache %s for append: %w", path, err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Get returns the cached result for a fingerprint, if present. The
+// returned result is a copy so callers may annotate it (Cached) without
+// mutating the store.
+func (s *Store) Get(fp string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.mem[fp]
+	if !ok {
+		return nil, false
+	}
+	cp := *r
+	return &cp, true
+}
+
+// Put records a result in memory and appends it to the file. Failed
+// (crashed) results are refused — caching them would make the crash
+// permanent instead of retryable.
+func (s *Store) Put(r *Result) error {
+	if r.Failed() {
+		return fmt.Errorf("runner: refusing to cache failed job %s", r.Fingerprint)
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: encoding result: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *r
+	s.mem[r.Fingerprint] = &cp
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		s.writeErr = err
+		return fmt.Errorf("runner: appending to cache %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Len reports the number of loaded entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Recovered reports how many unparseable lines the load skipped.
+func (s *Store) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Close releases the append handle, reporting any write error seen.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.f.Close()
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	return err
+}

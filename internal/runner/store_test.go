@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Exec(tinyJob("gauss", "sc"))
+	if res.Failed() {
+		t.Fatalf("run failed: %s", res.Failure)
+	}
+	if err := s.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(res.Fingerprint)
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+func TestStoreRefusesFailedResults(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "cache.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bad := &Result{Fingerprint: "abc", Failure: "panic: boom"}
+	if err := s.Put(bad); err == nil {
+		t.Fatal("failed result was cached")
+	}
+	if _, ok := s.Get("abc"); ok {
+		t.Fatal("failed result retrievable")
+	}
+}
+
+// TestStoreCorruptLineRecovery damages a cache file three ways — a torn
+// binary line, a JSON line of the wrong shape, and a truncated tail —
+// and requires the store to keep serving every intact entry while
+// counting the skipped ones.
+func TestStoreCorruptLineRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := Exec(tinyJob("gauss", "sc"))
+	resB := Exec(tinyJob("fft", "sc"))
+	if err := s.Put(resA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(resB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Torn write between the two entries, a fingerprint-less JSON line,
+	// and a truncated copy of a valid entry at the tail.
+	mangled := lines[0] + "\x00\x01 not json\n" + `{"other":"shape"}` + "\n" +
+		lines[1] + lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("intact entries = %d, want 2", s2.Len())
+	}
+	if s2.Recovered() != 3 {
+		t.Fatalf("recovered = %d, want 3", s2.Recovered())
+	}
+	for _, want := range []*Result{resA, resB} {
+		got, ok := s2.Get(want.Fingerprint)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("entry %s not served after recovery", want.Fingerprint)
+		}
+	}
+}
+
+// TestWarmCacheSkipsAllSimulation is the cache contract end to end: a
+// second runner over the same store simulates nothing and returns
+// byte-identical results.
+func TestWarmCacheSkipsAllSimulation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	jobs := []Job{tinyJob("gauss", "sc"), tinyJob("gauss", "lrc"), tinyJob("fft", "erc")}
+
+	cold, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := New(4, cold)
+	first := r1.DoAll(jobs)
+	if m := r1.Meta(); m.Simulated != 3 || m.CacheHits != 0 || m.CacheMisses != 3 {
+		t.Fatalf("cold meta: %+v", m)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	r2 := New(4, warm)
+	second := r2.DoAll(jobs)
+	if m := r2.Meta(); m.Simulated != 0 || m.CacheHits != 3 || m.CacheMisses != 0 {
+		t.Fatalf("warm meta: %+v", m)
+	}
+	for i := range jobs {
+		if !second[i].Cached {
+			t.Fatalf("job %d not marked cached", i)
+		}
+		a, err := json.Marshal(first[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(second[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("job %d: cached result differs:\n%s\n%s", i, a, b)
+		}
+	}
+}
