@@ -6,6 +6,12 @@
 // Usage:
 //
 //	lrcsim -app mp3d -proto lrc -procs 64 -scale small
+//
+// With -replay it instead re-executes a counterexample schedule written
+// by lrccheck, verifying the recorded outcome and final machine state
+// hash reproduce byte for byte:
+//
+//	lrcsim -replay counterexample.json
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"lazyrc"
 	"lazyrc/internal/check"
+	"lazyrc/internal/mc"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/trace"
 )
@@ -46,8 +53,14 @@ func main() {
 		watchdog   = flag.Uint64("watchdog", 0, "liveness watchdog probe interval in cycles (0: disabled); a stall aborts the run with a report; pick an interval far above the longest legitimate wait (e.g. 50000)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		replayFile = flag.String("replay", "", "replay a model-checker counterexample schedule (JSON from lrccheck) instead of running an application")
 	)
 	flag.Parse()
+
+	if *replayFile != "" {
+		replay(*replayFile)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -150,11 +163,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "traced %d events to %s\n", tr.Events(), *traceFile)
 	}
 
+	printReport(m, app, sc, *proto, *procs, *contention, *traffic)
+}
+
+// replay re-executes a recorded counterexample schedule and reports
+// whether it reproduced the recorded run exactly.
+func replay(path string) {
+	s, err := mc.LoadSchedule(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s: test %s, protocol %s, %d choices", path, s.Test, s.Proto, len(s.Choices))
+	if s.Mutation != "" {
+		fmt.Printf(", mutation %s", s.Mutation)
+	}
+	fmt.Println()
+	res, err := mc.Replay(s)
+	if err != nil {
+		if res != nil {
+			fmt.Printf("outcome %q (recorded %q)\n", res.Outcome, s.Outcome)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("reproduced: outcome %q, final state hash %#x, %d choice points\n",
+		res.Outcome, res.FinalHash, res.Choices)
+	for _, r := range s.Reasons {
+		fmt.Printf("recorded violation: %s\n", r)
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("reproduced violation: %s\n", v)
+	}
+	if len(s.Allowed) > 0 {
+		fmt.Printf("SC-allowed outcomes: %v\n", s.Allowed)
+	}
+}
+
+func printReport(m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto string, procs int, contention, traffic bool) {
 	w := tabwriter.NewWriter(os.Stdout, 0, 8, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintf(w, "application\t%s (%s)\n", app.Name(), sc)
-	fmt.Fprintf(w, "protocol\t%s\n", *proto)
-	fmt.Fprintf(w, "processors\t%d\n", *procs)
+	fmt.Fprintf(w, "protocol\t%s\n", proto)
+	fmt.Fprintf(w, "processors\t%d\n", procs)
 	fmt.Fprintf(w, "execution time\t%d cycles\n", m.Stats.ExecutionTime())
 	cpu, rd, wr, sy := m.Stats.Aggregate()
 	total := cpu + rd + wr + sy
@@ -173,12 +222,12 @@ func main() {
 	msgs, bytes := m.Net.Stats()
 	fmt.Fprintf(w, "network\t%d messages, %d payload bytes\n", msgs, bytes)
 	fmt.Fprintf(w, "shared footprint\t%d bytes\n", m.Footprint())
-	if *contention {
+	if contention {
 		w.Flush()
 		fmt.Println()
 		fmt.Print(m.ContentionReport())
 	}
-	if *traffic {
+	if traffic {
 		w.Flush()
 		fmt.Println()
 		fmt.Print(m.TrafficReport())

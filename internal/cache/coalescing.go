@@ -75,6 +75,14 @@ func (b *CoalescingBuffer) Put(block uint64, word int) (drained CBEntry, drain b
 	return drained, drain
 }
 
+// Visit calls fn for every entry in FIFO order — canonical iteration for
+// state snapshots.
+func (b *CoalescingBuffer) Visit(fn func(CBEntry)) {
+	for _, e := range b.entries {
+		fn(e)
+	}
+}
+
 // Has reports whether block has a pending entry.
 func (b *CoalescingBuffer) Has(block uint64) bool {
 	for i := range b.entries {

@@ -87,6 +87,14 @@ func (w *WriteBuffer) Retire(block uint64) WBEntry {
 	panic("cache: retiring absent write-buffer entry")
 }
 
+// Visit calls fn for every entry in FIFO order — canonical iteration for
+// state snapshots.
+func (w *WriteBuffer) Visit(fn func(WBEntry)) {
+	for _, e := range w.entries {
+		fn(e)
+	}
+}
+
 // Oldest returns the oldest entry, or nil if empty.
 func (w *WriteBuffer) Oldest() *WBEntry {
 	if len(w.entries) == 0 {

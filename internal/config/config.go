@@ -108,7 +108,20 @@ type Config struct {
 	// the fabric reliable and the schedule bit-identical to a build
 	// without the faults package.
 	FaultPlan string
+
+	// Mutation injects a named, deliberate protocol bug — the model
+	// checker's self-test that its conformance oracle actually catches
+	// broken coherence. Empty (the only value for real runs) leaves every
+	// protocol intact. Known mutations:
+	//
+	//	skip-acquire-inval: the lazy protocols skip processing queued
+	//	write-notice invalidations at acquire, so stale cached copies
+	//	survive into the critical section.
+	Mutation string
 }
+
+// Mutations lists the recognized Mutation values (excluding "").
+func Mutations() []string { return []string{"skip-acquire-inval"} }
 
 // Default returns the Table 1 configuration of the paper for n processors.
 func Default(n int) Config {
@@ -170,6 +183,18 @@ func (c Config) Validate() error {
 	}
 	if w, h := MeshDims(c.Procs); w*h != c.Procs {
 		return fmt.Errorf("config: Procs %d cannot be arranged on a 2-D mesh (use 1,2,4,8,16,32,64,...)", c.Procs)
+	}
+	if c.Mutation != "" {
+		ok := false
+		for _, m := range Mutations() {
+			if c.Mutation == m {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("config: unknown Mutation %q (known: %v)", c.Mutation, Mutations())
+		}
 	}
 	return nil
 }

@@ -11,7 +11,10 @@
 // lazy release consistency (the eager protocols never use Weak).
 package directory
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // State is the global state of a coherence block.
 type State uint8
@@ -174,4 +177,37 @@ func (d *Directory) Visit(fn func(block uint64, e *Entry)) {
 	for b, e := range d.entries {
 		fn(b, e)
 	}
+}
+
+// AppendSnapshot appends a canonical byte encoding of the directory's
+// state to b — entries in ascending block order, each with its state,
+// sharer/writer/notified sets, pending-ack count, and waiting writers.
+// Two directories in the same logical state produce identical bytes, so
+// the encoding is usable for visited-state hashing.
+func (d *Directory) AppendSnapshot(b []byte) []byte {
+	blocks := make([]uint64, 0, len(d.entries))
+	for blk := range d.entries {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	put := func(v uint64) {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	put(uint64(len(blocks)))
+	for _, blk := range blocks {
+		e := d.entries[blk]
+		put(blk)
+		b = append(b, byte(e.State))
+		for _, s := range []*ProcSet{&e.Sharers, &e.Writers, &e.Notified} {
+			put(uint64(s.Len()))
+			s.Visit(func(id int) { put(uint64(id)) })
+		}
+		put(uint64(e.PendingAcks))
+		put(uint64(len(e.WaitingWriters)))
+		for _, w := range e.WaitingWriters {
+			put(uint64(w))
+		}
+	}
+	return b
 }

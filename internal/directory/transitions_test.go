@@ -1,0 +1,184 @@
+package directory
+
+import "testing"
+
+// Table-driven coverage of the directory state machine: every transition
+// the protocols perform is expressed as the set mutations they make plus
+// a Recompute, and checked against the expected resulting state and the
+// entry's structural invariants. The entry-time rules (what makes a block
+// Shared vs Dirty vs Weak) come straight from §2 of the paper; removals
+// follow its reversion rule: no writers → Shared, no sharers → Uncached.
+
+func TestDirectoryTransitionTable(t *testing.T) {
+	type sets struct{ sharers, writers, notified []int }
+	cases := []struct {
+		name   string
+		start  State
+		init   sets
+		mutate func(e *Entry)
+		want   State
+		// wantNotified is the surviving notified set (nil = must be empty).
+		wantNotified []int
+	}{
+		{
+			name:   "uncached+first-reader→shared",
+			start:  Uncached,
+			mutate: func(e *Entry) { e.Sharers.Add(1) },
+			want:   Shared,
+		},
+		{
+			name:  "uncached+first-writer→dirty",
+			start: Uncached,
+			mutate: func(e *Entry) {
+				e.Sharers.Add(2)
+				e.Writers.Add(2)
+			},
+			want: Dirty,
+		},
+		{
+			name:   "shared+second-reader→shared",
+			start:  Shared,
+			init:   sets{sharers: []int{1}},
+			mutate: func(e *Entry) { e.Sharers.Add(3) },
+			want:   Shared,
+		},
+		{
+			name:   "shared+sole-sharer-writes→dirty",
+			start:  Shared,
+			init:   sets{sharers: []int{1}},
+			mutate: func(e *Entry) { e.Writers.Add(1) },
+			want:   Dirty,
+		},
+		{
+			name:   "shared+writer-joins→weak",
+			start:  Shared,
+			init:   sets{sharers: []int{1, 2}},
+			mutate: func(e *Entry) { e.Writers.Add(1) },
+			want:   Weak,
+		},
+		{
+			name:   "shared+last-sharer-evicted→uncached",
+			start:  Shared,
+			init:   sets{sharers: []int{2}},
+			mutate: func(e *Entry) { e.Sharers.Remove(2) },
+			want:   Uncached,
+		},
+		{
+			name:   "dirty+reader-joins→weak",
+			start:  Dirty,
+			init:   sets{sharers: []int{1}, writers: []int{1}},
+			mutate: func(e *Entry) { e.Sharers.Add(2) },
+			want:   Weak,
+		},
+		{
+			name:  "dirty+writer-evicted→uncached",
+			start: Dirty,
+			init:  sets{sharers: []int{1}, writers: []int{1}},
+			mutate: func(e *Entry) {
+				e.Sharers.Remove(1)
+				e.Writers.Remove(1)
+			},
+			want: Uncached,
+		},
+		{
+			name:  "weak+nonwriter-invalidated→dirty",
+			start: Weak,
+			init:  sets{sharers: []int{1, 2}, writers: []int{1}, notified: []int{2}},
+			mutate: func(e *Entry) {
+				e.Sharers.Remove(2)
+				e.Notified.Remove(2)
+			},
+			want: Dirty,
+		},
+		{
+			name:   "weak+writer-downgrades→shared",
+			start:  Weak,
+			init:   sets{sharers: []int{1, 2}, writers: []int{1}, notified: []int{2}},
+			mutate: func(e *Entry) { e.Writers.Remove(1) },
+			want:   Shared,
+		},
+		{
+			// The LRC-ext eviction flush: evicting a written block removes
+			// the (silently upgraded) writer entirely; the posted deferred
+			// notice had registered it, and the eviction deregisters it. A
+			// remaining reader keeps the block alive as Shared.
+			name:  "weak+written-block-evicted→shared",
+			start: Weak,
+			init:  sets{sharers: []int{0, 1}, writers: []int{0}, notified: []int{1}},
+			mutate: func(e *Entry) {
+				e.Sharers.Remove(0)
+				e.Writers.Remove(0)
+				e.Notified.Remove(0)
+			},
+			want: Shared,
+		},
+		{
+			name:  "weak+one-of-two-writers-leaves→weak",
+			start: Weak,
+			init:  sets{sharers: []int{1, 2, 3}, writers: []int{1, 2}, notified: []int{3}},
+			mutate: func(e *Entry) {
+				e.Sharers.Remove(1)
+				e.Writers.Remove(1)
+			},
+			want:         Weak,
+			wantNotified: []int{3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(8, true)
+			e := d.Entry(0)
+			for _, id := range tc.init.sharers {
+				e.Sharers.Add(id)
+			}
+			for _, id := range tc.init.writers {
+				e.Writers.Add(id)
+			}
+			for _, id := range tc.init.notified {
+				e.Notified.Add(id)
+			}
+			e.State = tc.start
+			if err := e.Validate(); err != nil {
+				t.Fatalf("initial state invalid: %v", err)
+			}
+			tc.mutate(e)
+			if got := e.Recompute(); got != tc.want {
+				t.Fatalf("%v --(%s)--> %v, want %v", tc.start, tc.name, got, tc.want)
+			}
+			d.Check(0, e) // panics on invariant violation
+			if len(tc.wantNotified) == 0 && tc.want != Weak && e.Notified.Len() != 0 {
+				t.Fatalf("notified bits survived leaving WEAK: %d set", e.Notified.Len())
+			}
+			for _, id := range tc.wantNotified {
+				if !e.Notified.Has(id) {
+					t.Fatalf("notified bit for %d lost across a WEAK-preserving transition", id)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectoryLifecycleWalk drives one entry through the full lifecycle
+// Uncached → Shared → Weak → Dirty → Shared → Uncached with Check after
+// every step, the way a home node does across a block's lifetime.
+func TestDirectoryLifecycleWalk(t *testing.T) {
+	d := New(4, true)
+	e := d.Entry(3)
+	step := func(want State, f func()) {
+		t.Helper()
+		f()
+		if got := e.Recompute(); got != want {
+			t.Fatalf("recompute = %v, want %v", got, want)
+		}
+		d.Check(3, e)
+	}
+	step(Shared, func() { e.Sharers.Add(0) })
+	step(Shared, func() { e.Sharers.Add(1) })
+	step(Weak, func() { e.Writers.Add(0); e.Notified.Add(1) })
+	step(Dirty, func() { e.Sharers.Remove(1); e.Notified.Remove(1) })
+	step(Shared, func() { e.Writers.Remove(0) })
+	step(Uncached, func() { e.Sharers.Remove(0) })
+	if e.Notified.Len() != 0 {
+		t.Fatal("notified bits survived the full lifecycle")
+	}
+}

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/protocol"
+	"lazyrc/internal/sim"
+)
+
+// TestLazyExtEvictionFlushOrdering pins the write-notice flush path of
+// the lazier protocol at the event level: evicting a written block whose
+// notice was deferred must post that notice at eviction time ("wn-post"),
+// strictly before the writer's next release — the release may not be what
+// forces it out — and the home must then dispatch it to the other sharer
+// ("wn-send"). Companion to TestLazyExtEvictionPostsNotice, which checks
+// the same scenario's directory end-state.
+func TestLazyExtEvictionFlushOrdering(t *testing.T) {
+	m := newTest(t, "lrc-ext", 2, func(c *config.Config) {
+		c.CacheSize = 2 * c.LineSize // two frames: easy to evict
+	})
+	type obs struct {
+		ev protocol.ProtEvent
+		at sim.Time
+	}
+	var events []obs
+	m.Env.Observe = func(ev protocol.ProtEvent) {
+		events = append(events, obs{ev, m.Eng.Now()})
+	}
+	words := m.Cfg.WordsPerLine()
+	a := m.AllocF64(4 * words) // blocks 0..3; 0 and 2 map to the same frame
+	block := a.At(0) / uint64(m.Cfg.LineSize)
+	f := m.NewFlag()
+	l := m.NewLock()
+	m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 1:
+			p.ReadF64(a.At(0)) // other sharer: makes the write notice-worthy
+			p.SetFlag(f)
+		case 0:
+			p.WaitFlag(f)
+			p.ReadF64(a.At(0))         // fill RO
+			p.WriteF64(a.At(0), 1.0)   // silent upgrade, deferred notice
+			p.ReadF64(a.At(2 * words)) // conflicting block: evicts block 0
+			p.Compute(5000)
+			p.Acquire(l)
+			p.Release(l)
+		}
+	})
+	var postAt, sendAt, releaseAt sim.Time
+	var posted, sent, released bool
+	for _, o := range events {
+		switch {
+		case o.ev.Kind == "wn-post" && o.ev.Node == 0 && o.ev.Block == block:
+			if posted {
+				t.Fatalf("deferred notice for block %d posted twice", block)
+			}
+			posted, postAt = true, o.at
+		case o.ev.Kind == "wn-send" && o.ev.Block == block && o.ev.Target == 1:
+			sent, sendAt = true, o.at
+		case o.ev.Kind == "release" && o.ev.Node == 0 && !released:
+			released, releaseAt = true, o.at
+		}
+	}
+	if !posted {
+		t.Fatal("eviction of the written block never posted the deferred write notice")
+	}
+	if !sent {
+		t.Fatal("home never dispatched the flushed notice to the other sharer")
+	}
+	if !released {
+		t.Fatal("writer's release was never observed")
+	}
+	if postAt >= releaseAt {
+		t.Fatalf("notice posted at t=%d, not before the release at t=%d — flush was release-driven, not eviction-driven",
+			postAt, releaseAt)
+	}
+	if sendAt < postAt {
+		t.Fatalf("home dispatched the notice at t=%d before it was posted at t=%d", sendAt, postAt)
+	}
+}

@@ -1,0 +1,328 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file computes the litmus oracle: the exact set of register
+// outcomes a sequentially consistent machine allows, by enumerating every
+// interleaving of the program's operations (memoized on machine state).
+// Alongside, a vector-clock race detector runs over each interleaving;
+// a program is data-race-free iff no SC execution exhibits concurrent
+// conflicting accesses to the same word (the adve/hill definition, which
+// is decidable for these finite programs). The enumerator validates each
+// Test's declared DRF flag, so a mislabeled test cannot silently weaken
+// the conformance check.
+
+// scState is the complete SC machine state during enumeration.
+type scState struct {
+	t     *Test
+	pc    []int
+	mem   []uint64 // per-variable value
+	locks []int    // -1 free, else owner
+	flags []bool
+	regs  [][]uint64
+
+	// happens-before machinery for race detection
+	procVC [][]uint32
+	lockVC [][]uint32
+	flagVC [][]uint32
+	// accesses[v] records every access to variable v with the accessor's
+	// vector clock at access time.
+	accesses [][]scAccess
+}
+
+type scAccess struct {
+	proc  int
+	write bool
+	vc    []uint32
+}
+
+func newSCState(t *Test) *scState {
+	s := &scState{
+		t:        t,
+		pc:       make([]int, t.Procs),
+		mem:      make([]uint64, len(t.Vars)),
+		locks:    make([]int, t.Locks),
+		flags:    make([]bool, t.Flags),
+		regs:     make([][]uint64, t.Procs),
+		procVC:   make([][]uint32, t.Procs),
+		lockVC:   make([][]uint32, t.Locks),
+		flagVC:   make([][]uint32, t.Flags),
+		accesses: make([][]scAccess, len(t.Vars)),
+	}
+	for i := range s.locks {
+		s.locks[i] = -1
+	}
+	for i := range s.procVC {
+		s.procVC[i] = make([]uint32, t.Procs)
+	}
+	for i := range s.lockVC {
+		s.lockVC[i] = make([]uint32, t.Procs)
+	}
+	for i := range s.flagVC {
+		s.flagVC[i] = make([]uint32, t.Procs)
+	}
+	return s
+}
+
+func (s *scState) clone() *scState {
+	c := &scState{t: s.t}
+	c.pc = append([]int(nil), s.pc...)
+	c.mem = append([]uint64(nil), s.mem...)
+	c.locks = append([]int(nil), s.locks...)
+	c.flags = append([]bool(nil), s.flags...)
+	c.regs = make([][]uint64, len(s.regs))
+	for i := range s.regs {
+		c.regs[i] = append([]uint64(nil), s.regs[i]...)
+	}
+	cloneVCs := func(vcs [][]uint32) [][]uint32 {
+		out := make([][]uint32, len(vcs))
+		for i := range vcs {
+			out[i] = append([]uint32(nil), vcs[i]...)
+		}
+		return out
+	}
+	c.procVC = cloneVCs(s.procVC)
+	c.lockVC = cloneVCs(s.lockVC)
+	c.flagVC = cloneVCs(s.flagVC)
+	c.accesses = make([][]scAccess, len(s.accesses))
+	for i := range s.accesses {
+		c.accesses[i] = append([]scAccess(nil), s.accesses[i]...)
+	}
+	return c
+}
+
+// key serializes everything that can influence the remaining execution
+// (including recorded registers and the happens-before state, so the race
+// verdict stays exact under memoization).
+func (s *scState) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v", s.pc, s.mem, s.locks, s.flags, s.regs)
+	fmt.Fprintf(&b, "|%v|%v|%v", s.procVC, s.lockVC, s.flagVC)
+	for v := range s.accesses {
+		for _, a := range s.accesses[v] {
+			fmt.Fprintf(&b, "|%d,%d,%t,%v", v, a.proc, a.write, a.vc)
+		}
+	}
+	return b.String()
+}
+
+func joinVC(dst, src []uint32) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// enabled reports whether proc p's next op can execute.
+func (s *scState) enabled(p int) bool {
+	if s.pc[p] >= len(s.t.Code[p]) {
+		return false
+	}
+	op := s.t.Code[p][s.pc[p]]
+	switch op.Kind {
+	case OpAcquire:
+		return s.locks[op.Obj] == -1
+	case OpWaitFlag:
+		return s.flags[op.Obj]
+	}
+	return true
+}
+
+// step executes proc p's next op in place, returning whether it raced
+// with an earlier access.
+func (s *scState) step(p int) (raced bool) {
+	op := s.t.Code[p][s.pc[p]]
+	s.pc[p]++
+	switch op.Kind {
+	case OpAcquire:
+		s.locks[op.Obj] = p
+		joinVC(s.procVC[p], s.lockVC[op.Obj])
+	case OpRelease:
+		s.locks[op.Obj] = -1
+		joinVC(s.lockVC[op.Obj], s.procVC[p])
+	case OpSetFlag:
+		s.flags[op.Obj] = true
+		joinVC(s.flagVC[op.Obj], s.procVC[p])
+	case OpWaitFlag:
+		joinVC(s.procVC[p], s.flagVC[op.Obj])
+	case OpRead, OpWrite:
+		write := op.Kind == OpWrite
+		for _, prev := range s.accesses[op.Var] {
+			if prev.proc == p || (!prev.write && !write) {
+				continue
+			}
+			// prev happens-before this access iff prev's post-access clock
+			// (vc[prev.proc]+1) has propagated to p through synchronization;
+			// conflicting accesses with neither ordered are a race.
+			if s.procVC[p][prev.proc] < prev.vc[prev.proc]+1 {
+				raced = true
+			}
+		}
+		s.accesses[op.Var] = append(s.accesses[op.Var],
+			scAccess{proc: p, write: write, vc: append([]uint32(nil), s.procVC[p]...)})
+		if write {
+			s.mem[op.Var] = op.Val
+		} else {
+			s.regs[p] = append(s.regs[p], s.mem[op.Var])
+		}
+		s.procVC[p][p]++
+	}
+	return raced
+}
+
+func (s *scState) done() bool {
+	for p := range s.pc {
+		if s.pc[p] < len(s.t.Code[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SCResult is the oracle for one litmus test.
+type SCResult struct {
+	// Allowed is the sorted set of outcomes (formatOutcome strings) some
+	// SC interleaving produces.
+	Allowed []string
+	// Racy reports whether any SC interleaving contains a data race.
+	Racy bool
+	// States is the number of distinct machine states visited.
+	States int
+}
+
+// AllowedOutcome reports whether outcome is in the allowed set.
+func (r *SCResult) AllowedOutcome(outcome string) bool {
+	for _, a := range r.Allowed {
+		if a == outcome {
+			return true
+		}
+	}
+	return false
+}
+
+// scStateCap bounds the enumeration; the corpus stays far below it, and
+// exceeding it means a test is too large to serve as an oracle.
+const scStateCap = 2_000_000
+
+// SCOutcomes enumerates every sequentially consistent execution of t.
+func SCOutcomes(t *Test) (*SCResult, error) {
+	if err := validateTest(t); err != nil {
+		return nil, err
+	}
+	res := &SCResult{}
+	outcomes := map[string]bool{}
+	visited := map[string]bool{}
+	var dfs func(s *scState) error
+	dfs = func(s *scState) error {
+		k := s.key()
+		if visited[k] {
+			return nil
+		}
+		if len(visited) >= scStateCap {
+			return fmt.Errorf("mc: SC enumeration of %q exceeded %d states", t.Name, scStateCap)
+		}
+		visited[k] = true
+		if s.done() {
+			outcomes[formatOutcome(s.regs)] = true
+			return nil
+		}
+		any := false
+		for p := 0; p < s.t.Procs; p++ {
+			if !s.enabled(p) {
+				continue
+			}
+			any = true
+			next := s.clone()
+			if next.step(p) {
+				res.Racy = true
+			}
+			if err := dfs(next); err != nil {
+				return err
+			}
+		}
+		if !any {
+			return fmt.Errorf("mc: litmus test %q deadlocks under SC (pc=%v)", t.Name, s.pc)
+		}
+		return nil
+	}
+	if err := dfs(newSCState(t)); err != nil {
+		return nil, err
+	}
+	for o := range outcomes {
+		res.Allowed = append(res.Allowed, o)
+	}
+	sort.Strings(res.Allowed)
+	res.States = len(visited)
+	if res.Racy == t.DRF {
+		return nil, fmt.Errorf("mc: litmus test %q declares DRF=%t but SC enumeration found racy=%t",
+			t.Name, t.DRF, res.Racy)
+	}
+	return res, nil
+}
+
+// formatOutcome canonically renders the register values each processor's
+// reads observed, e.g. "p0=1;p1=0,1" (processors with no reads omitted).
+func formatOutcome(regs [][]uint64) string {
+	var b strings.Builder
+	for p, rs := range regs {
+		if len(rs) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "p%d=", p)
+		for i, v := range rs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	return b.String()
+}
+
+// validateTest checks structural sanity of a litmus test.
+func validateTest(t *Test) error {
+	if t.Procs < 2 || t.Procs > 4 {
+		return fmt.Errorf("mc: test %q: Procs %d out of range [2,4]", t.Name, t.Procs)
+	}
+	if len(t.Code) != t.Procs {
+		return fmt.Errorf("mc: test %q: %d programs for %d procs", t.Name, len(t.Code), t.Procs)
+	}
+	lineWords := map[[2]int]string{}
+	for _, v := range t.Vars {
+		k := [2]int{v.Line, v.Word}
+		if prev, dup := lineWords[k]; dup {
+			return fmt.Errorf("mc: test %q: vars %q and %q share line %d word %d",
+				t.Name, prev, v.Name, v.Line, v.Word)
+		}
+		lineWords[k] = v.Name
+	}
+	for p, code := range t.Code {
+		for i, op := range code {
+			switch op.Kind {
+			case OpRead, OpWrite:
+				if op.Var < 0 || op.Var >= len(t.Vars) {
+					return fmt.Errorf("mc: test %q: p%d op %d: var %d out of range", t.Name, p, i, op.Var)
+				}
+			case OpAcquire, OpRelease:
+				if op.Obj < 0 || op.Obj >= t.Locks {
+					return fmt.Errorf("mc: test %q: p%d op %d: lock %d out of range", t.Name, p, i, op.Obj)
+				}
+			case OpSetFlag, OpWaitFlag:
+				if op.Obj < 0 || op.Obj >= t.Flags {
+					return fmt.Errorf("mc: test %q: p%d op %d: flag %d out of range", t.Name, p, i, op.Obj)
+				}
+			default:
+				return fmt.Errorf("mc: test %q: p%d op %d: unknown kind %d", t.Name, p, i, op.Kind)
+			}
+		}
+	}
+	return nil
+}

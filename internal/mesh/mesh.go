@@ -50,6 +50,19 @@ type Network struct {
 
 	injReordered, injDelayed, injDuped, injDropped uint64
 
+	// Schedule exploration (nil = no explorer). A model checker attaches a
+	// chooser and a menu of candidate pre-entry delays; every cross-node
+	// message becomes a choice point picking one delay from the menu, with
+	// entry times floored by lastEntry so exploration can never violate the
+	// per-(src,dst) FIFO guarantee. Mutually exclusive with fault injection.
+	exp     sim.Chooser
+	expMenu []uint64
+
+	// In-flight message ledger, maintained only under an explorer: an
+	// order-independent digest over messages sent but not yet delivered,
+	// folded into machine state hashes for visited-state dedup.
+	flightSum, flightXor, flightN uint64
+
 	// LocalLoopback controls whether a node sending to itself still
 	// pays NIC and hop costs. Hardware handles node-local protocol
 	// operations without touching the network; keep false.
@@ -74,6 +87,12 @@ type Msg struct {
 	// word mask, object id, ...).
 	Arg uint64
 	Aux uint64
+
+	// Vals carries the data words of a payload-bearing message (a line's
+	// worth for fills and write-backs, masked by Arg for write-throughs).
+	// The timing model only charges for Size bytes; Vals exists so a value
+	// tracker can follow which write's data each copy actually holds.
+	Vals []uint64
 
 	// TID is the network-assigned transaction id, stamped only when fault
 	// injection is active (0 otherwise). An injected duplicate carries its
@@ -137,6 +156,9 @@ func (n *Network) Finalize() error {
 // duplicate it; with none, the send path is exactly the reliable fabric.
 func (n *Network) SetInjector(inj *faults.Injector) error {
 	if inj != nil {
+		if n.exp != nil {
+			return fmt.Errorf("mesh: fault injector and schedule explorer are mutually exclusive")
+		}
 		if err := inj.Validate(func(kind int) bool { return n.retryable[kind] }); err != nil {
 			return err
 		}
@@ -145,6 +167,33 @@ func (n *Network) SetInjector(inj *faults.Injector) error {
 		}
 	}
 	n.inj = inj
+	return nil
+}
+
+// SetExplorer attaches a schedule explorer: every cross-node message asks
+// the chooser to pick a pre-entry delay from menu (sorted candidate
+// delays; a menu of one is no choice point at all). Entry times are
+// floored per (src, dst) by the same mechanism that serializes injected
+// reordering, so no explored schedule can violate pairwise FIFO delivery.
+// Pass a nil chooser to detach. Exploration and fault injection are
+// mutually exclusive: the injector consumes seeded randomness, which
+// would make the chooser's answer stream non-replayable.
+func (n *Network) SetExplorer(ch sim.Chooser, menu []uint64) error {
+	if ch == nil {
+		n.exp, n.expMenu = nil, nil
+		return nil
+	}
+	if n.inj != nil {
+		return fmt.Errorf("mesh: fault injector and schedule explorer are mutually exclusive")
+	}
+	if len(menu) == 0 {
+		menu = []uint64{0}
+	}
+	if n.lastEntry == nil {
+		n.lastEntry = make([]sim.Time, n.nprocs*n.nprocs)
+	}
+	n.exp = ch
+	n.expMenu = append([]uint64(nil), menu...)
 	return nil
 }
 
@@ -195,9 +244,42 @@ func (n *Network) Send(m Msg) {
 	if n.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler on node %d (Network.Finalize not called or node never registered)", m.Dst))
 	}
-	if n.inj == nil || (m.Src == m.Dst && !n.LocalLoopback) {
+	if m.Src == m.Dst && !n.LocalLoopback {
 		// Node-local protocol transitions never touch the network and are
-		// not subject to injection.
+		// subject to neither injection nor exploration.
+		n.transmit(m, 0)
+		return
+	}
+	if n.exp != nil {
+		delay := n.expMenu[0]
+		if len(n.expMenu) > 1 {
+			pick := n.exp.Choose(len(n.expMenu))
+			if pick < 0 || pick >= len(n.expMenu) {
+				panic(fmt.Sprintf("mesh: explorer picked delay %d of %d", pick, len(n.expMenu)))
+			}
+			delay = n.expMenu[pick]
+		}
+		entry := n.eng.Now() + delay
+		pair := m.Src*n.nprocs + m.Dst
+		if t := n.lastEntry[pair]; t > entry {
+			entry = t
+		}
+		// The floor is strict (lastEntry stores entry+1): if two held
+		// messages on one channel shared an entry timestamp, their network
+		// entries would be same-time engine events, and the engine's own
+		// tie chooser could flip them — violating the pairwise FIFO the
+		// protocols assume. Strict ordering keeps every interleaving the
+		// explorer can express a legal one.
+		n.lastEntry[pair] = entry + 1
+		if entry == n.eng.Now() {
+			n.transmit(m, 0)
+			return
+		}
+		n.flightAdd(m)
+		n.eng.At(entry, func() { n.flightRemove(m); n.transmit(m, 0) })
+		return
+	}
+	if n.inj == nil {
 		n.transmit(m, 0)
 		return
 	}
@@ -215,12 +297,16 @@ func (n *Network) Send(m Msg) {
 	// network; lastEntry keeps entry times monotonic per (src, dst) pair
 	// so two messages between the same nodes are never reordered — the
 	// FIFO guarantee of dimension-ordered routing survives injection.
+	// The floor is strict (lastEntry stores entry+1): a message held to
+	// entry time T sits in a pending callback, and a successor sent at
+	// exactly cycle T with no hold of its own would otherwise take the
+	// synchronous fast path below and overtake it.
 	entry := n.eng.Now() + f.PreDelay
 	pair := m.Src*n.nprocs + m.Dst
 	if t := n.lastEntry[pair]; t > entry {
 		entry = t
 	}
-	n.lastEntry[pair] = entry
+	n.lastEntry[pair] = entry + 1
 	if f.PreDelay > 0 {
 		n.injReordered++
 	}
@@ -252,7 +338,8 @@ func (n *Network) transmit(m Msg, extra uint64) {
 		n.Trace(m)
 	}
 	if m.Src == m.Dst && !n.LocalLoopback {
-		n.eng.At(n.eng.Now(), func() { n.handlers[m.Dst](m) })
+		n.flightAdd(m)
+		n.eng.At(n.eng.Now(), func() { n.flightRemove(m); n.handlers[m.Dst](m) })
 		return
 	}
 	ser := n.TransferCycles(m.Size)
@@ -263,7 +350,69 @@ func (n *Network) transmit(m Msg, extra uint64) {
 	sendStart, _ := n.out[m.Src].Acquire(n.eng.Now(), occ)
 	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser + extra
 	deliver := n.in[m.Dst].AcquireWindow(rawArrival, occ)
-	n.eng.At(deliver, func() { n.handlers[m.Dst](m) })
+	n.flightAdd(m)
+	n.eng.At(deliver, func() { n.flightRemove(m); n.handlers[m.Dst](m) })
+}
+
+// msgHash is an FNV-1a fingerprint of a message's protocol-visible
+// content (not its TID, which depends on send order alone).
+func msgHash(m Msg) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Src))
+	mix(uint64(m.Dst))
+	mix(uint64(m.Kind))
+	mix(uint64(m.Size))
+	mix(m.Addr)
+	mix(m.Arg)
+	mix(m.Aux)
+	for _, v := range m.Vals {
+		mix(v)
+	}
+	return h
+}
+
+// flightAdd/flightRemove maintain the in-flight multiset digest. Only an
+// explorer needs it; the ledger stays zero-cost otherwise.
+func (n *Network) flightAdd(m Msg) {
+	if n.exp == nil {
+		return
+	}
+	h := msgHash(m)
+	n.flightSum += h
+	n.flightXor ^= h
+	n.flightN++
+}
+
+func (n *Network) flightRemove(m Msg) {
+	if n.exp == nil {
+		return
+	}
+	h := msgHash(m)
+	n.flightSum -= h
+	n.flightXor ^= h
+	n.flightN--
+}
+
+// InFlightDigest returns an order-independent digest of the messages
+// currently sent but undelivered (plus their count), for folding into a
+// whole-machine state hash. Zero-valued without an explorer attached.
+func (n *Network) InFlightDigest() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range [3]uint64{n.flightN, n.flightSum, n.flightXor} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
 }
 
 // Stats returns the total messages and payload bytes sent.

@@ -90,6 +90,7 @@ func eagerDeliver(n *Node, m mesh.Msg) {
 	case MsgWriteBack:
 		eagerHomeWriteBack(n, m)
 	case MsgSharingWB:
+		n.mergeHome(m.Addr, m.Vals, ^uint64(0))
 		n.memAccess(m.Size) // concurrent write-back; nobody waits
 	case MsgXferDone:
 		eagerXferDone(n, m)
@@ -213,7 +214,7 @@ func eagerProcessRead(n *Node, m mesh.Msg, memEnd uint64) {
 		n.Dir.Check(m.Addr, e)
 		st := uint64(e.State)
 		n.Env.Eng.At(maxTime(n.now(), memEnd), func() {
-			n.send(m.Src, MsgReadReply, m.Addr, n.lineBytes(), st, 0)
+			n.sendData(m.Src, MsgReadReply, m.Addr, n.lineBytes(), st, 0, n.homeVals(m.Addr))
 		})
 		eagerUnbusy(n, m.Addr)
 	}
@@ -252,7 +253,7 @@ func eagerProcessWrite(n *Node, m mesh.Msg, memEnd uint64) {
 			if wantsData {
 				at := maxTime(n.now(), memEnd)
 				n.Env.Eng.At(at, func() {
-					n.send(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+					n.sendData(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1, n.homeVals(m.Addr))
 				})
 			} else {
 				n.send(m.Src, MsgWriteDone, m.Addr, 0, 0, 0)
@@ -283,7 +284,7 @@ func eagerProcessWrite(n *Node, m mesh.Msg, memEnd uint64) {
 			if wantsData {
 				at := maxTime(n.now(), memEnd)
 				n.Env.Eng.At(at, func() {
-					n.send(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+					n.sendData(m.Src, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1, n.homeVals(m.Addr))
 				})
 			} else {
 				n.send(m.Src, MsgWriteDone, m.Addr, 0, 0, 0)
@@ -327,7 +328,7 @@ func eagerHomeInvalAck(n *Node, m mesh.Msg) {
 		if g.wantData {
 			memEnd := n.memAccess(n.lineBytes())
 			n.Env.Eng.At(memEnd, func() {
-				n.send(g.writer, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+				n.sendData(g.writer, MsgWriteData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1, n.homeVals(m.Addr))
 			})
 		} else {
 			n.send(g.writer, MsgWriteDone, m.Addr, 0, 0, 0)
@@ -340,6 +341,7 @@ func eagerHomeInvalAck(n *Node, m mesh.Msg) {
 // guards against the (theoretically possible) case where the owner
 // re-fetched the block before its write-back landed.
 func eagerHomeWriteBack(n *Node, m mesh.Msg) {
+	n.mergeHome(m.Addr, m.Vals, ^uint64(0))
 	memEnd := n.memAccess(n.lineBytes())
 	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
 	n.Env.Eng.At(maxTime(dirEnd, memEnd), func() {
@@ -376,16 +378,18 @@ func eagerOwnerForward(n *Node, m mesh.Msg) {
 			return
 		}
 		if MsgKind(m.Kind) == MsgFwdRead {
+			vals := n.copyVals(m.Addr)
 			n.Cache.Downgrade(m.Addr)
 			// Concurrent sharing write-back to the home's memory.
-			n.send(m.Src, MsgSharingWB, m.Addr, n.lineBytes(), 0, 0)
-			n.send(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Shared), 0)
+			n.sendData(m.Src, MsgSharingWB, m.Addr, n.lineBytes(), 0, 0, vals)
+			n.sendData(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Shared), 0, vals)
 		} else {
 			// Yield the block entirely.
+			vals := n.copyVals(m.Addr)
 			if _, ok := n.Cache.Invalidate(m.Addr); ok {
 				n.Env.Class.Lose(n.ID, m.Addr, stats.LossCoherence, n.wordsPerLine())
 			}
-			n.send(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1)
+			n.sendData(req, MsgOwnerData, m.Addr, n.lineBytes(), uint64(directory.Dirty), 1, vals)
 		}
 		n.send(m.Src, MsgXferDone, m.Addr, 0, 0, 0)
 	})
@@ -466,11 +470,11 @@ func eagerInval(n *Node, m mesh.Msg) {
 // ---- Requester side ------------------------------------------------------
 
 func eagerReadReply(n *Node, m mesh.Msg) {
-	eagerFill(n, m.Addr, cache.ReadOnly)
+	eagerFill(n, m.Addr, cache.ReadOnly, m.Vals)
 }
 
 func eagerWriteData(n *Node, m mesh.Msg) {
-	eagerFill(n, m.Addr, cache.ReadWrite)
+	eagerFill(n, m.Addr, cache.ReadWrite, m.Vals)
 }
 
 func eagerOwnerData(n *Node, m mesh.Msg) {
@@ -478,19 +482,19 @@ func eagerOwnerData(n *Node, m mesh.Msg) {
 	if m.Aux == 1 {
 		st = cache.ReadWrite
 	}
-	eagerFill(n, m.Addr, st)
+	eagerFill(n, m.Addr, st, m.Vals)
 }
 
 // eagerFill completes a data reply at the requester: the line lands in
 // state st unless a racing invalidation or read-forward marked the
 // transaction, in which case it dies or demotes on arrival; then any
 // buffered stores for the block are resolved.
-func eagerFill(n *Node, block uint64, st cache.LineState) {
+func eagerFill(n *Node, block uint64, st cache.LineState, vals []uint64) {
 	t := n.txn(block)
 	if t == nil {
 		panic(fmt.Sprintf("protocol: node %d data reply without txn (block %d)", n.ID, block))
 	}
-	n.fillLine(block, st, func() {
+	n.fillLine(block, st, vals, func() {
 		t.Filled = true
 		inv := t.InvalidateOnFill
 		n.finishTxn(t)

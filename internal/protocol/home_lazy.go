@@ -89,6 +89,7 @@ func lazyHomeRead(n *Node, m mesh.Msg) {
 				sendEnd = dspEnd
 				e.Notified.Add(writer)
 				e.PendingAcks++
+				n.observe("wn-send", m.Addr, 0, writer)
 				n.send(writer, MsgNotice, m.Addr, 0, 0, 0)
 			}
 		}
@@ -105,7 +106,7 @@ func lazyHomeRead(n *Node, m mesh.Msg) {
 		at := maxTime(sendEnd, memEnd)
 		st := uint64(e.State)
 		n.Env.Eng.At(at, func() {
-			n.send(m.Src, MsgReadReply, m.Addr, n.lineBytes(), st, 0)
+			n.sendData(m.Src, MsgReadReply, m.Addr, n.lineBytes(), st, 0, n.homeVals(m.Addr))
 		})
 	})
 }
@@ -147,6 +148,7 @@ func lazyHomeWrite(n *Node, m mesh.Msg) {
 			for _, id := range targets {
 				e.Notified.Add(id)
 				e.PendingAcks++
+				n.observe("wn-send", m.Addr, 0, id)
 				n.send(id, MsgNotice, m.Addr, 0, 0, 0)
 			}
 		}
@@ -164,7 +166,7 @@ func lazyHomeWrite(n *Node, m mesh.Msg) {
 				aux = 1
 			}
 			n.Env.Eng.At(at, func() {
-				n.send(m.Src, MsgWriteData, m.Addr, n.lineBytes(), st, aux)
+				n.sendData(m.Src, MsgWriteData, m.Addr, n.lineBytes(), st, aux, n.homeVals(m.Addr))
 			})
 		} else if complete {
 			st := uint64(e.State)
@@ -200,6 +202,7 @@ func lazyHomeNoticeAck(n *Node, m mesh.Msg) {
 // acknowledges the writer. Shared with nothing eager: write-back
 // protocols use homeWriteBack.
 func homeWriteThrough(n *Node, m mesh.Msg) {
+	n.mergeHome(m.Addr, m.Vals, m.Arg)
 	_, ppEnd := n.PP.Acquire(n.now(), n.noticeCost())
 	memEnd := n.memAccess(m.Size)
 	n.Env.Eng.At(maxTime(ppEnd, memEnd), func() {
@@ -249,7 +252,7 @@ func lazyReadReply(n *Node, m mesh.Msg) {
 	if t == nil {
 		panic(fmt.Sprintf("protocol: node %d read reply without txn (block %d)", n.ID, m.Addr))
 	}
-	n.fillLine(m.Addr, cache.ReadOnly, func() {
+	n.fillLine(m.Addr, cache.ReadOnly, m.Vals, func() {
 		t.Filled = true
 		inv := t.InvalidateOnFill
 		n.finishTxn(t) // reads complete at fill
@@ -268,7 +271,7 @@ func lazyWriteData(n *Node, m mesh.Msg) {
 	if t == nil {
 		panic(fmt.Sprintf("protocol: node %d write data without txn (block %d)", n.ID, m.Addr))
 	}
-	n.fillLine(m.Addr, cache.ReadWrite, func() {
+	n.fillLine(m.Addr, cache.ReadWrite, m.Vals, func() {
 		t.Filled = true
 		if directory.State(m.Arg) == directory.Weak {
 			n.addPendInv(m.Addr)
@@ -317,6 +320,7 @@ func lazyNotice(n *Node, m mesh.Msg) {
 	n.Env.Eng.At(end, func() {
 		n.PS.NoticesIn++
 		if n.Cache.Lookup(m.Addr) != nil || n.txn(m.Addr) != nil {
+			n.observe("wn-apply", m.Addr, 0, m.Src)
 			n.addPendInv(m.Addr)
 		}
 		n.send(m.Src, MsgNoticeAck, m.Addr, 0, 0, 0)

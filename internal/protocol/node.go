@@ -23,6 +23,16 @@ type Env struct {
 	// Debug, when non-nil, receives protocol-internal trace lines.
 	Debug func(format string, args ...any)
 
+	// Observe, when non-nil, receives protocol-level events (sync
+	// operations, the write-notice lifecycle) — the tracer and the model
+	// checker attach here. Purely passive; never alters timing.
+	Observe func(ProtEvent)
+
+	// Mem, when non-nil, shadows the data values each cache copy and home
+	// line actually holds, making memory-model outcomes observable. Nil
+	// for performance runs.
+	Mem DataMemory
+
 	// pageHome is the FirstTouch page-placement table (-1 = untouched).
 	pageHome []int
 }
@@ -195,6 +205,15 @@ func (n *Node) send(dst int, kind MsgKind, block uint64, size int, arg, aux uint
 	})
 }
 
+// sendData dispatches a payload-bearing message carrying a value snapshot
+// for the data tracker (vals is nil when no tracker is attached).
+func (n *Node) sendData(dst int, kind MsgKind, block uint64, size int, arg, aux uint64, vals []uint64) {
+	n.Env.Net.Send(mesh.Msg{
+		Src: n.ID, Dst: dst, Kind: int(kind), Size: size,
+		Addr: block, Arg: arg, Aux: aux, Vals: vals,
+	})
+}
+
 func (n *Node) now() sim.Time       { return n.Env.Eng.Now() }
 func (n *Node) homeOf(b uint64) int { return n.Env.HomeOf(b) }
 func (n *Node) lineBytes() int      { return n.Env.Cfg.LineSize }
@@ -299,11 +318,16 @@ func (n *Node) stallWBFull() {
 // fillLine installs block (state st) when its data message has arrived:
 // the line streams over the node bus, the victim (if any) is processed,
 // and at bus completion fn runs (protocols open the transaction's Data
-// gate there). Must be called from an event handler at data arrival time.
-func (n *Node) fillLine(block uint64, st cache.LineState, fn func()) {
+// gate there). vals is the data snapshot the message carried (nil without
+// a value tracker). Must be called from an event handler at data arrival
+// time.
+func (n *Node) fillLine(block uint64, st cache.LineState, vals []uint64, fn func()) {
 	victim, evicted := n.Cache.Fill(block, st)
 	if evicted {
 		n.evictVictim(victim)
+	}
+	if n.Env.Mem != nil && vals != nil {
+		n.Env.Mem.Fill(n.ID, block, vals)
 	}
 	n.Env.Class.Fill(n.ID, block, n.wordsPerLine())
 	_, end := n.Bus.Acquire(n.now(), n.busCycles(n.lineBytes()))
@@ -339,7 +363,7 @@ func (n *Node) evictVictim(v cache.Line) {
 	}
 	if v.Dirty != 0 && n.usesWriteBack() {
 		n.wtPending++
-		n.send(n.homeOf(block), MsgWriteBack, block, n.lineBytes(), v.Dirty, 0)
+		n.sendData(n.homeOf(block), MsgWriteBack, block, n.lineBytes(), v.Dirty, 0, n.copyVals(block))
 	} else {
 		n.send(n.homeOf(block), MsgEvict, block, 0, 0, 0)
 	}
@@ -356,6 +380,9 @@ func (n *Node) usesWriteBack() bool { return n.Proto.WriteBack() }
 func (n *Node) commitWT(block uint64, word int) {
 	n.Cache.MarkDirty(block, word)
 	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
+	if n.Env.Mem != nil {
+		n.Env.Mem.Commit(n.ID, block, word)
+	}
 	if e, drain := n.CB.Put(block, word); drain {
 		n.sendWriteThrough(e)
 	}
@@ -368,6 +395,9 @@ func (n *Node) commitWT(block uint64, word int) {
 func (n *Node) commitWB(block uint64, word int) {
 	n.Cache.MarkDirty(block, word)
 	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
+	if n.Env.Mem != nil {
+		n.Env.Mem.Commit(n.ID, block, word)
+	}
 }
 
 // FastWriteHit attempts the write-hit fast path: a store to a resident
@@ -393,11 +423,12 @@ func (n *Node) FastWriteHit(block uint64, word int) bool {
 }
 
 // sendWriteThrough ships one coalescing-buffer entry to the block's home
-// memory and tracks the pending acknowledgement.
+// memory and tracks the pending acknowledgement. The value snapshot
+// carries the whole line; the home merges only the words in the mask.
 func (n *Node) sendWriteThrough(e cache.CBEntry) {
 	n.wtPending++
 	n.PS.WriteThroughs++
-	n.send(n.homeOf(e.Block), MsgWriteThrough, e.Block, e.DirtyBytes(config.WordSize), e.Words, 0)
+	n.sendData(n.homeOf(e.Block), MsgWriteThrough, e.Block, e.DirtyBytes(config.WordSize), e.Words, 0, n.copyVals(e.Block))
 }
 
 // flushCB drains every coalescing-buffer entry (the release-point flush).
@@ -424,6 +455,11 @@ func (n *Node) addPendInv(block uint64) {
 // at which the protocol processor finishes the batch. In-flight fills are
 // flagged to invalidate on arrival.
 func (n *Node) processPendInv() sim.Time {
+	if n.Env.Cfg.Mutation == "skip-acquire-inval" {
+		// Deliberate bug for checker self-tests: queued write notices are
+		// never acted on, so stale copies survive into critical sections.
+		return n.now()
+	}
 	work := 0
 	for _, block := range n.pendInv {
 		delete(n.pendInvSet, block)
@@ -438,6 +474,7 @@ func (n *Node) processPendInv() sim.Time {
 			n.removeDelayed(block)
 			n.Env.Class.Lose(n.ID, block, stats.LossCoherence, n.wordsPerLine())
 			n.PS.InvalsAtAcquire++
+			n.observe("inv-acquire", block, 0, -1)
 			n.send(n.homeOf(block), MsgInvNotify, block, 0, 0, 0)
 			work++
 		}
@@ -486,6 +523,7 @@ func (n *Node) postNotice(block uint64) {
 	}
 	t := n.newTxn(block)
 	t.Data.Open() // no data will come
+	n.observe("wn-post", block, 0, -1)
 	n.send(n.homeOf(block), MsgWriteReq, block, 0, 0, 0)
 }
 

@@ -1,0 +1,90 @@
+package protocol
+
+// This file defines the two observation interfaces the model checker and
+// the tracer hook into: protocol-level events (sync operations and the
+// write-notice lifecycle, as opposed to raw messages) and the data-value
+// shadow memory that makes litmus outcomes meaningful.
+//
+// The simulator decouples timing from data in the usual execution-driven
+// way — workload values live in one backing store — so a stale cached
+// copy still "reads" the freshest value. A DataMemory implementation
+// re-couples them for tiny litmus programs: it mirrors the value each
+// copy and each home line actually holds, updated at exactly the points
+// where the protocol moves data (fills, store commits, merges into home
+// memory). Payload-bearing messages carry a value snapshot (mesh.Msg.Vals)
+// taken when the message is sent, so a fill installs the values the home
+// held at reply time, not at arrival time.
+
+// ProtEvent is one protocol-level occurrence, reported through
+// Env.Observe.
+type ProtEvent struct {
+	// Kind is the event type: "acquire", "release" (sync operations, Obj
+	// set), "wn-send" (home dispatches a write notice, Target set),
+	// "wn-apply" (a node queues an arriving notice for acquire-time
+	// invalidation), "wn-post" (lazier protocol posts a deferred notice),
+	// or "inv-acquire" (a queued line is invalidated at an acquire).
+	Kind string
+	// Node is the node the event happened at.
+	Node int
+	// Block is the coherence block concerned (write-notice events).
+	Block uint64
+	// Obj is the synchronization object id (acquire/release events).
+	Obj uint64
+	// Target is the peer node (wn-send: the notice recipient); -1 when
+	// not applicable.
+	Target int
+}
+
+// DataMemory shadows the data values protocol-visible at each location.
+// All slices passed in are snapshots owned by the callee; slices returned
+// must be freshly allocated (they ride on messages and must be immutable).
+// A nil DataMemory (the default) disables value tracking entirely.
+type DataMemory interface {
+	// HomeLine returns a snapshot of home memory's current line contents.
+	HomeLine(block uint64) []uint64
+	// CopyLine returns a snapshot of node's cached copy of block.
+	CopyLine(node int, block uint64) []uint64
+	// Fill records that node installed vals as its copy of block.
+	Fill(node int, block uint64, vals []uint64)
+	// Commit records that node's buffered store to (block, word) was
+	// performed in its cached copy.
+	Commit(node int, block uint64, word int)
+	// MergeHome merges the words selected by mask (bit per word; all ones
+	// for a full line) from vals into home memory's line.
+	MergeHome(block uint64, vals []uint64, mask uint64)
+}
+
+// observe reports a protocol-level event if an observer is attached.
+func (n *Node) observe(kind string, block, obj uint64, target int) {
+	if n.Env.Observe != nil {
+		n.Env.Observe(ProtEvent{Kind: kind, Node: n.ID, Block: block, Obj: obj, Target: target})
+	}
+}
+
+// homeVals snapshots home memory's line for a data reply, or nil without
+// a value tracker.
+func (n *Node) homeVals(block uint64) []uint64 {
+	if n.Env.Mem == nil {
+		return nil
+	}
+	return n.Env.Mem.HomeLine(block)
+}
+
+// copyVals snapshots this node's cached copy for an owner-supplied data
+// message or write-back, or nil without a value tracker.
+func (n *Node) copyVals(block uint64) []uint64 {
+	if n.Env.Mem == nil {
+		return nil
+	}
+	return n.Env.Mem.CopyLine(n.ID, block)
+}
+
+// mergeHome merges arriving write data into the value tracker's home
+// memory. Called at delivery-handler entry — not at the modeled memory
+// completion time — so value application follows per-(src,dst) FIFO
+// message order even when modeled memory timings overlap.
+func (n *Node) mergeHome(block uint64, vals []uint64, mask uint64) {
+	if n.Env.Mem != nil && vals != nil {
+		n.Env.Mem.MergeHome(block, vals, mask)
+	}
+}

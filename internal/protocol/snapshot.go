@@ -1,0 +1,192 @@
+package protocol
+
+import (
+	"sort"
+
+	"lazyrc/internal/cache"
+)
+
+// This file implements the canonical state snapshot the model checker
+// hashes for visited-state deduplication. Everything protocol-visible at
+// a node is encoded in a deterministic order: cache frames, buffered
+// writes, outstanding transactions, pending invalidations, deferred
+// notices, synchronization-object state, and the eager home machinery.
+// Two nodes in the same logical state produce identical bytes regardless
+// of the path that led there (map iteration never leaks into the
+// encoding).
+
+type snapBuf struct{ b []byte }
+
+func (s *snapBuf) u64(v uint64) {
+	s.b = append(s.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (s *snapBuf) bit(v bool) {
+	if v {
+		s.b = append(s.b, 1)
+	} else {
+		s.b = append(s.b, 0)
+	}
+}
+
+func sortedU64(m map[uint64]bool) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k, v := range m {
+		if v {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// AppendSnapshot appends a canonical byte encoding of this node's
+// protocol state to b and returns the extended slice.
+func (n *Node) AppendSnapshot(b []byte) []byte {
+	s := &snapBuf{b: b}
+	s.u64(uint64(n.ID))
+
+	n.Cache.VisitValid(func(l *cache.Line) {
+		s.u64(l.Block)
+		s.b = append(s.b, byte(l.State))
+		s.u64(l.Dirty)
+	})
+	s.u64(^uint64(0)) // section separator
+
+	n.WB.Visit(func(e cache.WBEntry) { s.u64(e.Block); s.u64(e.Words) })
+	s.u64(^uint64(0))
+	n.CB.Visit(func(e cache.CBEntry) { s.u64(e.Block); s.u64(e.Words) })
+	s.u64(^uint64(0))
+
+	blocks := make([]uint64, 0, len(n.outstanding))
+	for blk := range n.outstanding {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, blk := range blocks {
+		t := n.outstanding[blk]
+		s.u64(blk)
+		s.bit(t.Data.IsOpen())
+		s.bit(t.Done.IsOpen())
+		s.bit(t.InvalidateOnFill)
+		s.bit(t.ExpectData)
+		s.bit(t.IsWrite)
+		s.bit(t.Filled)
+		s.bit(t.DoneEarly)
+	}
+	s.u64(^uint64(0))
+
+	for _, blk := range n.pendInv {
+		s.u64(blk)
+	}
+	s.u64(^uint64(0))
+	for _, blk := range n.delayed {
+		s.u64(blk)
+	}
+	s.u64(^uint64(0))
+	s.u64(uint64(n.wtPending))
+	s.bit(n.releaseParked)
+	s.bit(n.wbParked)
+	s.bit(n.sync.gate != nil)
+
+	ids := make([]uint64, 0, len(n.sync.locks))
+	for id := range n.sync.locks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l := n.sync.locks[id]
+		s.u64(id)
+		s.bit(l.held)
+		for _, q := range l.queue {
+			s.u64(uint64(q))
+		}
+		s.u64(^uint64(0))
+	}
+	s.u64(^uint64(0))
+	ids = ids[:0]
+	for id := range n.sync.bars {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		bar := n.sync.bars[id]
+		s.u64(id)
+		s.u64(uint64(bar.arrived))
+		for _, w := range bar.waiting {
+			s.u64(uint64(w))
+		}
+		s.u64(^uint64(0))
+	}
+	s.u64(^uint64(0))
+	ids = ids[:0]
+	for id := range n.sync.flags {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := n.sync.flags[id]
+		s.u64(id)
+		s.bit(f.set)
+		for _, w := range f.waiters {
+			s.u64(uint64(w))
+		}
+		s.u64(^uint64(0))
+	}
+	s.u64(^uint64(0))
+
+	if es := n.eagerHome; es != nil {
+		blocks = blocks[:0]
+		for blk := range es.grants {
+			blocks = append(blocks, blk)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			g := es.grants[blk]
+			s.u64(blk)
+			s.u64(uint64(g.writer))
+			s.bit(g.wantData)
+		}
+		s.u64(^uint64(0))
+		blocks = blocks[:0]
+		for blk := range es.xfers {
+			blocks = append(blocks, blk)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			x := es.xfers[blk]
+			s.u64(blk)
+			s.u64(uint64(x.req))
+			s.bit(x.isWrite)
+			s.bit(x.wantData)
+		}
+		s.u64(^uint64(0))
+		blocks = blocks[:0]
+		for blk := range es.deferred {
+			if len(es.deferred[blk]) > 0 {
+				blocks = append(blocks, blk)
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			s.u64(blk)
+			for _, p := range es.deferred[blk] {
+				s.u64(uint64(p.m.Kind))
+				s.u64(uint64(p.m.Src))
+				s.u64(p.m.Arg)
+			}
+			s.u64(^uint64(0))
+		}
+		s.u64(^uint64(0))
+		serv := make(map[uint64]bool, len(es.servicing))
+		for blk, v := range es.servicing {
+			serv[blk] = v
+		}
+		for _, blk := range sortedU64(serv) {
+			s.u64(blk)
+		}
+		s.u64(^uint64(0))
+	}
+	return s.b
+}

@@ -86,6 +86,7 @@ func (s *syncNode) flag(id uint64) *flagState {
 
 // LockAcquire performs an acquire on the lock with the given home and id.
 func (n *Node) LockAcquire(home int, id uint64) {
+	n.observe("acquire", 0, id, -1)
 	n.Proto.AcquireBegin(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
@@ -95,6 +96,7 @@ func (n *Node) LockAcquire(home int, id uint64) {
 
 // LockRelease performs a release on the lock.
 func (n *Node) LockRelease(home int, id uint64) {
+	n.observe("release", 0, id, -1)
 	n.Proto.Release(n)
 	n.send(home, MsgLockFree, 0, 0, 0, id)
 }
@@ -102,6 +104,8 @@ func (n *Node) LockRelease(home int, id uint64) {
 // BarrierWait joins a barrier of the given party count: arrival has
 // release semantics, departure acquire semantics.
 func (n *Node) BarrierWait(home int, id uint64, parties int) {
+	n.observe("release", 0, id, -1)
+	n.observe("acquire", 0, id, -1)
 	n.Proto.Release(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
@@ -111,12 +115,14 @@ func (n *Node) BarrierWait(home int, id uint64, parties int) {
 
 // FlagSet sets a one-shot flag (release semantics), waking all waiters.
 func (n *Node) FlagSet(home int, id uint64) {
+	n.observe("release", 0, id, -1)
 	n.Proto.Release(n)
 	n.send(home, MsgFlagSet, 0, 0, 0, id)
 }
 
 // FlagWait blocks until the flag has been set (acquire semantics).
 func (n *Node) FlagWait(home int, id uint64) {
+	n.observe("acquire", 0, id, -1)
 	n.Proto.AcquireBegin(n)
 	g := &sim.Gate{}
 	n.sync.gate = g

@@ -18,6 +18,18 @@ import (
 // Time is simulated time in processor cycles.
 type Time = uint64
 
+// Chooser resolves scheduling nondeterminism at an enumerated choice
+// point with n >= 2 alternatives, returning an index in [0, n). The
+// engine consults it whenever several events are enabled at the same
+// simulated instant, instead of committing to scheduling (heap) order;
+// the mesh consults it to pick per-message delivery delays. A model
+// checker implements Chooser to explore the space of legal schedules and
+// to replay a recorded one; with no chooser attached the engine's
+// deterministic seq-order tie-break applies unchanged.
+type Chooser interface {
+	Choose(n int) int
+}
+
 type event struct {
 	at  Time
 	seq uint64
@@ -57,6 +69,9 @@ type Engine struct {
 	nEvents uint64 // total events executed, for diagnostics
 	nbg     int    // background events currently in the queue
 	stopped bool   // set by Stop; Run returns early
+
+	chooser Chooser // nil: deterministic seq-order tie-break
+	tied    []event // scratch for same-instant choice enumeration
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -104,6 +119,41 @@ func (e *Engine) Background(t Time, fn func()) {
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// SetChooser attaches (or, with nil, detaches) a scheduling chooser.
+// With a chooser attached, whenever two or more events are enabled at
+// the same simulated instant the engine enumerates them (in scheduling
+// order) and lets the chooser pick which fires next, rather than
+// committing to seq order. Attach before Run; the schedule is a pure
+// function of the chooser's answers, so replaying the same answers
+// reproduces the run exactly.
+func (e *Engine) SetChooser(c Chooser) { e.chooser = c }
+
+// popNext removes and returns the next event to execute. With no chooser
+// (or a single enabled event) this is the deterministic heap minimum;
+// with a chooser and several events tied at the minimum timestamp, the
+// tied set is enumerated as a choice point.
+func (e *Engine) popNext() event {
+	ev := e.events.popMin()
+	if e.chooser == nil || e.events.emptied() || e.events.peek().at != ev.at {
+		return ev
+	}
+	e.tied = append(e.tied[:0], ev)
+	for !e.events.emptied() && e.events.peek().at == ev.at {
+		e.tied = append(e.tied, e.events.popMin())
+	}
+	pick := e.chooser.Choose(len(e.tied))
+	if pick < 0 || pick >= len(e.tied) {
+		panic(fmt.Sprintf("sim: chooser picked %d of %d alternatives", pick, len(e.tied)))
+	}
+	chosen := e.tied[pick]
+	for i, t := range e.tied {
+		if i != pick {
+			e.events.pushEv(t) // seq is preserved: unchosen events keep their order
+		}
+	}
+	return chosen
+}
+
 // Stop makes Run return before the next event, without treating still-
 // parked contexts as a deadlock. A watchdog's stall handler calls it to
 // abort a wedged simulation after dumping its report.
@@ -120,7 +170,7 @@ func (e *Engine) Run() {
 		if e.stopped {
 			return
 		}
-		ev := e.events.popMin()
+		ev := e.popNext()
 		if ev.bg {
 			e.nbg--
 		}
@@ -148,7 +198,7 @@ func (e *Engine) RunUntil(t Time) {
 		if e.stopped {
 			return
 		}
-		ev := e.events.popMin()
+		ev := e.popNext()
 		if ev.bg {
 			e.nbg--
 		}

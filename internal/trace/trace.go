@@ -18,17 +18,26 @@ import (
 type Event struct {
 	// Cycle is the simulated time of the event.
 	Cycle uint64 `json:"cycle"`
-	// Kind is the event type: currently always "msg".
+	// Kind is the event type: "msg" for raw network messages, or a
+	// protocol-level kind — "acquire", "release" (sync operations),
+	// "wn-send" (home dispatches a write notice), "wn-apply" (a node
+	// queues an arriving notice), "wn-post" (lazier protocol posts a
+	// deferred notice), "inv-acquire" (a queued line invalidated at an
+	// acquire).
 	Kind string `json:"kind"`
-	// Src and Dst are node ids.
+	// Src and Dst are node ids (Dst is -1 for protocol-level events with
+	// no peer).
 	Src int `json:"src"`
 	Dst int `json:"dst"`
-	// Msg is the message kind mnemonic ("ReadReq", "Notice", ...).
-	Msg string `json:"msg"`
-	// Block is the coherence block, if the message concerns one.
+	// Msg is the message kind mnemonic ("ReadReq", "Notice", ...); empty
+	// for protocol-level events.
+	Msg string `json:"msg,omitempty"`
+	// Block is the coherence block, if the event concerns one.
 	Block uint64 `json:"block"`
+	// Obj is the synchronization object id (acquire/release events).
+	Obj uint64 `json:"obj,omitempty"`
 	// Bytes is the payload size.
-	Bytes int `json:"bytes"`
+	Bytes int `json:"bytes,omitempty"`
 }
 
 // Tracer writes events to an io.Writer as JSON lines.
@@ -64,8 +73,11 @@ func New(w io.Writer, opts ...Option) *Tracer {
 	return t
 }
 
-// Attach hooks the tracer to a machine's network. It must be called
-// before Machine.Run, and replaces any previous tap.
+// Attach hooks the tracer to a machine's network tap and protocol-event
+// observer, so traces interleave raw messages with the sync-level
+// operations (acquires, releases, the write-notice lifecycle) that give
+// them meaning. It must be called before Machine.Run, and replaces any
+// previous taps.
 func (t *Tracer) Attach(m *machine.Machine) {
 	m.Net.Trace = func(msg mesh.Msg) {
 		t.record(Event{
@@ -76,6 +88,16 @@ func (t *Tracer) Attach(m *machine.Machine) {
 			Msg:   protocol.MsgKind(msg.Kind).String(),
 			Block: msg.Addr,
 			Bytes: msg.Size,
+		})
+	}
+	m.Env.Observe = func(e protocol.ProtEvent) {
+		t.record(Event{
+			Cycle: m.Eng.Now(),
+			Kind:  e.Kind,
+			Src:   e.Node,
+			Dst:   e.Target,
+			Block: e.Block,
+			Obj:   e.Obj,
 		})
 	}
 }

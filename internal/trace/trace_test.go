@@ -25,6 +25,9 @@ func runTraced(t *testing.T, opts ...Option) (*Tracer, *bytes.Buffer) {
 		p.WriteF64(a.At(p.ID()*16), 1.0)
 		p.Barrier(b)
 		p.ReadF64(a.At(((p.ID() + 1) % 4) * 16))
+		p.WriteF64(a.At(p.ID()*16), 2.0)
+		p.Barrier(b) // second acquire applies queued write notices
+		p.ReadF64(a.At(((p.ID() + 1) % 4) * 16))
 	})
 	if err := tr.Err(); err != nil {
 		t.Fatal(err)
@@ -41,15 +44,21 @@ func TestTraceRecordsValidJSONL(t *testing.T) {
 	if len(lines) < 8 {
 		t.Fatalf("too few events traced: %d", len(lines))
 	}
+	validKinds := map[string]bool{
+		"msg": true, "acquire": true, "release": true,
+		"wn-send": true, "wn-apply": true, "wn-post": true, "inv-acquire": true,
+	}
 	var sawRead, sawBarrier bool
+	sawKind := map[string]bool{}
 	for _, l := range lines {
 		var e Event
 		if err := json.Unmarshal([]byte(l), &e); err != nil {
 			t.Fatalf("bad JSON line %q: %v", l, err)
 		}
-		if e.Kind != "msg" {
+		if !validKinds[e.Kind] {
 			t.Fatalf("unexpected kind %q", e.Kind)
 		}
+		sawKind[e.Kind] = true
 		if e.Msg == "ReadReq" {
 			sawRead = true
 		}
@@ -59,6 +68,13 @@ func TestTraceRecordsValidJSONL(t *testing.T) {
 	}
 	if !sawRead || !sawBarrier {
 		t.Fatal("expected both coherence and sync traffic in the trace")
+	}
+	// The barrier workload synchronizes and shares written lines under
+	// LRC, so the sync-level event kinds must all appear.
+	for _, k := range []string{"acquire", "release", "wn-send", "wn-apply", "inv-acquire"} {
+		if !sawKind[k] {
+			t.Fatalf("missing sync-level event kind %q in trace", k)
+		}
 	}
 }
 
