@@ -28,6 +28,7 @@ import (
 	"lazyrc/internal/check"
 	"lazyrc/internal/mc"
 	"lazyrc/internal/sim"
+	"lazyrc/internal/telemetry"
 	"lazyrc/internal/trace"
 )
 
@@ -54,8 +55,23 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		replayFile = flag.String("replay", "", "replay a model-checker counterexample schedule (JSON from lrccheck) instead of running an application")
+		metrics    = flag.Bool("metrics", false, "collect cycle-domain telemetry and write a JSONL export to -metrics-out")
+		metricsOut = flag.String("metrics-out", "metrics.jsonl", "telemetry JSONL output path (with -metrics)")
+		metricsInt = flag.Uint64("metrics-interval", 5000, "telemetry sampling interval in simulated cycles")
+		reportFile = flag.String("report", "", "write a self-contained HTML run report to this file (implies telemetry collection)")
+		validateM  = flag.String("validate-metrics", "", "validate a telemetry JSONL export against the current schema and exit")
 	)
 	flag.Parse()
+
+	if *validateM != "" {
+		hdr, err := telemetry.ValidateFile(*validateM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid %s export: %d samples every %d cycles, %d series, %d histograms\n",
+			*validateM, hdr.Schema, hdr.Samples, hdr.Interval, hdr.Series, hdr.Hists)
+		return
+	}
 
 	if *replayFile != "" {
 		replay(*replayFile)
@@ -133,6 +149,14 @@ func main() {
 		tr = trace.New(f, trace.WithLimit(*traceMax))
 		tr.Attach(m)
 	}
+	if *metrics || *reportFile != "" {
+		if *metricsInt == 0 {
+			log.Fatal("-metrics-interval must be positive")
+		}
+		reg := m.EnableMetrics(*metricsInt)
+		reg.SetMeta("app", app.Name())
+		reg.SetMeta("scale", sc.String())
+	}
 	app.Setup(m)
 	m.Run(app.Worker)
 	if m.Eng.Stopped() {
@@ -160,7 +184,40 @@ func main() {
 		if terr := tr.Err(); terr != nil {
 			log.Fatal(terr)
 		}
+		if tr.Truncated() {
+			fmt.Fprintf(os.Stderr, "warning: trace truncated at %d events (-trace-max); %d further events dropped\n",
+				tr.Events(), tr.Dropped())
+		}
 		fmt.Fprintf(os.Stderr, "traced %d events to %s\n", tr.Events(), *traceFile)
+	}
+	if *metrics {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Tel.Export(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d samples (%s) to %s\n", m.Tel.Samples(), telemetry.SchemaVersion, *metricsOut)
+	}
+	if *reportFile != "" {
+		f, err := os.Create(*reportFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("%s · %s · %d procs", app.Name(), *proto, *procs)
+		if err := m.Tel.WriteHTML(f, title); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report: %s\n", *reportFile)
 	}
 
 	printReport(m, app, sc, *proto, *procs, *contention, *traffic)
@@ -214,6 +271,22 @@ func printReport(m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto strin
 		fmt.Fprintf(w, "  write stall\t%d (%.1f%%)\n", wr, 100*float64(wr)/float64(total))
 		fmt.Fprintf(w, "  sync stall\t%d (%.1f%%)\n", sy, 100*float64(sy)/float64(total))
 	}
+	var minU, maxU, sumU float64
+	for i := range m.Stats.Procs {
+		u := m.Stats.Procs[i].Utilization()
+		if i == 0 || u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+		sumU += u
+	}
+	if n := len(m.Stats.Procs); n > 0 {
+		fmt.Fprintf(w, "cpu utilization\t%.1f%% mean (%.1f%% min, %.1f%% max)\n",
+			100*sumU/float64(n), 100*minU, 100*maxU)
+	}
+	fmt.Fprintf(w, "load imbalance\t%.3f (max/mean finish time)\n", m.Stats.Imbalance())
 	fmt.Fprintf(w, "miss rate\t%.3f%%\n", 100*m.Stats.MissRate())
 	shares := m.Stats.MissShares()
 	fmt.Fprintf(w, "  cold/true/false/evict/write\t%.1f%% / %.1f%% / %.1f%% / %.1f%% / %.1f%%\n",

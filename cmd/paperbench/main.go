@@ -52,6 +52,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "regression-gate baseline report (JSON); out-of-tolerance drift exits non-zero")
 		tol        = flag.Float64("tol", 0, "gate tolerance on cycle counts and traffic, in percent of the baseline value")
 		writeBase  = flag.String("write-baseline", "", "write the canonical (provenance-free) report to this file, for committing as the gate baseline")
+		reportOut  = flag.String("report", "", "write a self-contained HTML report of the evaluation to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -159,6 +160,12 @@ func main() {
 	if *jsonOut != "" {
 		writeReport(*jsonOut, report)
 	}
+	if *reportOut != "" {
+		writeHTMLReport(*reportOut, report)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *reportOut)
+		}
+	}
 	if *writeBase != "" {
 		writeReport(*writeBase, report.Stable())
 		if !*quiet {
@@ -208,6 +215,20 @@ func writeReport(path string, r exp.Report) {
 		log.Fatal(err)
 	}
 	if err := exp.WriteReportJSON(f, r); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeHTMLReport writes the evaluation as a self-contained HTML page.
+func writeHTMLReport(path string, r exp.Report) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.WriteHTML(f, r); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {

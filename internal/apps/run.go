@@ -5,6 +5,7 @@ import (
 
 	"lazyrc/internal/config"
 	"lazyrc/internal/machine"
+	"lazyrc/internal/telemetry"
 )
 
 // Run builds a machine with the given configuration and protocol,
@@ -21,4 +22,23 @@ func Run(cfg config.Config, protoName string, app App) (*machine.Machine, error)
 		return m, err
 	}
 	return m, nil
+}
+
+// RunInstrumented is Run with cycle-domain telemetry enabled at the
+// given sampling interval. Telemetry is passive, so the simulated run is
+// identical to Run's; the registry (also available as m.Tel) additionally
+// carries the interval time series and latency histograms.
+func RunInstrumented(cfg config.Config, protoName string, app App, interval uint64) (*machine.Machine, *telemetry.Registry, error) {
+	m, err := machine.New(cfg, protoName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apps: %w", err)
+	}
+	reg := m.EnableMetrics(interval)
+	reg.SetMeta("app", app.Name())
+	app.Setup(m)
+	m.Run(app.Worker)
+	if err := app.Verify(); err != nil {
+		return m, reg, err
+	}
+	return m, reg, nil
 }

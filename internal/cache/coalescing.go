@@ -1,5 +1,7 @@
 package cache
 
+import "lazyrc/internal/telemetry"
+
 // CoalescingBuffer is the fully associative coalescing buffer the lazy
 // protocols place after their write-through caches (16 entries in the
 // paper's configuration, after Jouppi). It merges word-granularity
@@ -18,12 +20,19 @@ type CoalescingBuffer struct {
 	merges    uint64 // writes absorbed into an existing entry
 	inserts   uint64 // new entries created
 	capDrains uint64 // entries pushed out by capacity pressure
+
+	// Telemetry (nil clock = disabled): entries are stamped with their
+	// allocation cycle so every drain path can observe residency.
+	clock func() uint64
+	resid *telemetry.Histogram
 }
 
 // CBEntry is the pending write-through state for one block.
 type CBEntry struct {
 	Block uint64
 	Words uint64 // mask of words to merge into memory
+
+	born uint64 // allocation cycle (telemetry only; excluded from snapshots)
 }
 
 // DirtyBytes returns the payload size of draining this entry, given the
@@ -42,6 +51,21 @@ func NewCoalescingBuffer(capacity int) *CoalescingBuffer {
 		panic("cache: coalescing buffer needs capacity >= 1")
 	}
 	return &CoalescingBuffer{cap: capacity}
+}
+
+// EnableTelemetry stamps entries with their allocation cycle (via clock)
+// and observes each entry's buffer residency into resid when it drains —
+// by capacity pressure, targeted removal, or a release-point flush.
+func (b *CoalescingBuffer) EnableTelemetry(clock func() uint64, resid *telemetry.Histogram) {
+	b.clock = clock
+	b.resid = resid
+}
+
+// observeDrain records one draining entry's residency.
+func (b *CoalescingBuffer) observeDrain(e CBEntry) {
+	if b.clock != nil {
+		b.resid.Observe(b.clock() - e.born)
+	}
 }
 
 // Cap returns the entry capacity.
@@ -69,8 +93,13 @@ func (b *CoalescingBuffer) Put(block uint64, word int) (drained CBEntry, drain b
 		b.entries = b.entries[1:]
 		b.capDrains++
 		drain = true
+		b.observeDrain(drained)
 	}
-	b.entries = append(b.entries, CBEntry{Block: block, Words: 1 << uint(word)})
+	e := CBEntry{Block: block, Words: 1 << uint(word)}
+	if b.clock != nil {
+		e.born = b.clock()
+	}
+	b.entries = append(b.entries, e)
 	b.inserts++
 	return drained, drain
 }
@@ -101,6 +130,7 @@ func (b *CoalescingBuffer) Remove(block uint64) (e CBEntry, present bool) {
 		if b.entries[i].Block == block {
 			e = b.entries[i]
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			b.observeDrain(e)
 			return e, true
 		}
 	}
@@ -112,6 +142,9 @@ func (b *CoalescingBuffer) Remove(block uint64) (e CBEntry, present bool) {
 func (b *CoalescingBuffer) DrainAll() []CBEntry {
 	out := b.entries
 	b.entries = nil
+	for _, e := range out {
+		b.observeDrain(e)
+	}
 	return out
 }
 

@@ -1,5 +1,7 @@
 package cache
 
+import "lazyrc/internal/telemetry"
+
 // WriteBuffer is the small CPU-side write buffer used by the relaxed
 // protocols (4 entries in the paper's configuration). Reads bypass it;
 // writes to the same cache line coalesce into one entry; the processor
@@ -16,12 +18,20 @@ type WriteBuffer struct {
 	stalls    uint64 // times the CPU found the buffer full
 	coalesced uint64 // stores merged into an existing entry
 	total     uint64 // stores presented
+
+	// Telemetry (nil clock = disabled): entries are stamped with their
+	// allocation cycle so retirement can observe residency — the drain
+	// latency a store waits in the buffer before being performed.
+	clock func() uint64
+	resid *telemetry.Histogram
 }
 
 // WBEntry is one pending line's worth of buffered stores.
 type WBEntry struct {
 	Block uint64
 	Words uint64 // mask of words written while buffered
+
+	born uint64 // allocation cycle (telemetry only; excluded from snapshots)
 }
 
 // NewWriteBuffer returns a buffer with the given entry capacity.
@@ -30,6 +40,13 @@ func NewWriteBuffer(capacity int) *WriteBuffer {
 		panic("cache: write buffer needs capacity >= 1")
 	}
 	return &WriteBuffer{cap: capacity}
+}
+
+// EnableTelemetry stamps entries with their allocation cycle (via clock)
+// and observes each entry's buffer residency into resid when it retires.
+func (w *WriteBuffer) EnableTelemetry(clock func() uint64, resid *telemetry.Histogram) {
+	w.clock = clock
+	w.resid = resid
 }
 
 // Cap returns the entry capacity.
@@ -70,7 +87,11 @@ func (w *WriteBuffer) Put(block uint64, word int) (allocated, ok bool) {
 		w.total--
 		return false, false
 	}
-	w.entries = append(w.entries, WBEntry{Block: block, Words: 1 << uint(word)})
+	e := WBEntry{Block: block, Words: 1 << uint(word)}
+	if w.clock != nil {
+		e.born = w.clock()
+	}
+	w.entries = append(w.entries, e)
 	return true, true
 }
 
@@ -81,6 +102,9 @@ func (w *WriteBuffer) Retire(block uint64) WBEntry {
 		if w.entries[i].Block == block {
 			e := w.entries[i]
 			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			if w.clock != nil {
+				w.resid.Observe(w.clock() - e.born)
+			}
 			return e
 		}
 	}

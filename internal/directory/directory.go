@@ -102,6 +102,17 @@ func (d *Directory) Peek(block uint64) *Entry { return d.entries[block] }
 // Len returns the number of blocks with directory records.
 func (d *Directory) Len() int { return len(d.entries) }
 
+// StateCounts returns how many recorded blocks sit in each state, indexed
+// by State. Counting is order-independent, so the result is deterministic
+// despite map iteration.
+func (d *Directory) StateCounts() [4]int {
+	var counts [4]int
+	for _, e := range d.entries {
+		counts[e.State]++
+	}
+	return counts
+}
+
 // Check verifies e's invariants if checking is enabled, panicking with a
 // description on violation. Protocols call it after each transition.
 func (d *Directory) Check(block uint64, e *Entry) {

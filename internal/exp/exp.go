@@ -28,6 +28,7 @@ type Run struct {
 	MissRate               float64
 	MissShares             [stats.NumMissKinds]float64
 	Msgs, Bytes            uint64
+	MetricsDigest          string
 	VerifyErr              error
 }
 
@@ -142,6 +143,7 @@ func runFromResult(res *runner.Result, cfgName string) *Run {
 		MissRate:   res.MissRate,
 		MissShares: res.MissShares,
 		Msgs:       res.Msgs, Bytes: res.Bytes,
+		MetricsDigest: res.MetricsDigest,
 	}
 	if err := res.Err(); err != nil {
 		r.VerifyErr = err

@@ -88,11 +88,29 @@ func Gate(baseline, fresh Report, tolPct float64) []string {
 					k, kind, base.MissShares[kind], run.MissShares[kind])
 			}
 		}
+		// The telemetry digest fingerprints the run's whole cycle-domain
+		// shape — when cycles were spent, where traffic flowed — so it
+		// catches compensating drifts that leave end-of-run totals inside
+		// tolerance. Compared only when both sides carry one, so
+		// pre-telemetry baselines still gate on the scalar fields.
+		if base.MetricsDigest != "" && run.MetricsDigest != "" &&
+			base.MetricsDigest != run.MetricsDigest {
+			fail("%s: metrics digest changed: %s -> %s (telemetry shape drift)",
+				k, short(base.MetricsDigest), short(run.MetricsDigest))
+		}
 		if base.Verified && !run.Verified {
 			fail("%s: run no longer verifies: %s", k, run.Error)
 		}
 	}
 	return v
+}
+
+// short abbreviates a hex digest for violation messages.
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }
 
 // outOfTolerance reports whether f deviates from b by more than tolPct

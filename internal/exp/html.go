@@ -1,0 +1,304 @@
+package exp
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"lazyrc/internal/telemetry"
+)
+
+// This file renders the evaluation as a self-contained HTML report
+// (paperbench -report): normalized execution time as grouped columns,
+// the cycle-breakdown stack per protocol, and the full measurements
+// table with telemetry digests. It reuses the telemetry package's doc
+// builder, so styling (palette slots, light/dark, chrome tokens) is
+// defined in exactly one place.
+
+// protoOrder fixes both the column order and the categorical palette
+// slot of each protocol — color follows the protocol, never its rank.
+var protoOrder = []string{"sc", "erc", "lrc", "lrc-ext"}
+
+func protoSlot(proto string) int {
+	for i, p := range protoOrder {
+		if p == proto {
+			return i
+		}
+	}
+	return len(protoOrder)
+}
+
+// breakdownLabels names the four cycle categories in stack order.
+var breakdownLabels = [4]string{"busy", "read stall", "write stall", "sync stall"}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// columnGroup is one x-axis group (an application) with one value per
+// column (a protocol): either a plain value or a 4-segment stack.
+type columnGroup struct {
+	label  string
+	stacks [][]float64 // per column: 1 segment (plain) or 4 (breakdown)
+	protos []string
+}
+
+// groupedColumns renders grouped (optionally stacked) columns: ≤24px
+// columns with a 4px-rounded data end and square baseline, 2px surface
+// gaps between stacked segments, hairline gridlines, hover titles, and a
+// backing data table.
+func groupedColumns(groups []columnGroup, segLabels []string, yUnit string) string {
+	const (
+		w      = 900.0
+		h      = 260.0
+		padL   = 48.0
+		padR   = 12.0
+		padT   = 12.0
+		padB   = 30.0
+		colMax = 24.0
+	)
+	plotW, plotH := w-padL-padR, h-padT-padB
+	ymax := 0.0
+	for _, g := range groups {
+		for _, st := range g.stacks {
+			sum := 0.0
+			for _, v := range st {
+				sum += v
+			}
+			if sum > ymax {
+				ymax = sum
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	// Clean axis max.
+	step := ymax / 4
+	yTop := ymax * 1.05
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %g %g" width="100%%" role="img">`+"\n", w, h)
+	for g := 0; g <= 4; g++ {
+		v := step * float64(g)
+		y := padT + plotH*(1-v/yTop)
+		if g > 0 {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="var(--grid)" stroke-width="1"/>`+"\n",
+				padL, y, padL+plotW, y)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="var(--text-muted)" text-anchor="end">%s</text>`+"\n",
+			padL-6, y+4, fmtVal(v))
+	}
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="var(--baseline)" stroke-width="1"/>`+"\n",
+		padL, padT+plotH, padL+plotW, padT+plotH)
+	if yUnit != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="var(--text-muted)">%s</text>`+"\n",
+			padL, padT-2, html.EscapeString(yUnit))
+	}
+
+	groupW := plotW / float64(len(groups))
+	for gi, g := range groups {
+		ncol := len(g.stacks)
+		colW := colMax
+		if avail := (groupW - 8) / float64(ncol); avail < colW {
+			colW = avail
+		}
+		x0 := padL + float64(gi)*groupW + (groupW-colW*float64(ncol))/2
+		for ci, st := range g.stacks {
+			x := x0 + float64(ci)*colW
+			yBase := padT + plotH
+			total := 0.0
+			for _, v := range st {
+				total += v
+			}
+			cum := 0.0
+			for si, v := range st {
+				if v <= 0 {
+					continue
+				}
+				segH := plotH * v / yTop
+				yTopSeg := yBase - plotH*(cum+v)/yTop
+				slot := si + 1
+				if len(st) == 1 {
+					slot = protoSlot(g.protos[ci]) + 1
+				}
+				// Only the stack's top edge gets the 4px rounded data end;
+				// interior segments stay square with a 2px surface gap.
+				isTop := cum+v >= total-1e-12
+				gapH := segH
+				if !isTop && gapH > 2 {
+					gapH -= 2
+				}
+				label := g.label
+				segName := g.protos[ci]
+				if len(st) > 1 {
+					segName = g.protos[ci] + " " + segLabels[si]
+				}
+				if isTop && gapH > 4 {
+					r := 4.0
+					cw := colW - 2
+					fmt.Fprintf(&b, `<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="var(--s%d)"><title>%s · %s: %s</title></path>`+"\n",
+						x, yTopSeg+gapH, x, yTopSeg+r, x, yTopSeg, x+r, yTopSeg,
+						x+cw-r, yTopSeg, x+cw, yTopSeg, x+cw, yTopSeg+r, x+cw, yTopSeg+gapH,
+						slot, html.EscapeString(label), html.EscapeString(segName), fmtVal(v))
+				} else {
+					fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="var(--s%d)"><title>%s · %s: %s</title></rect>`+"\n",
+						x, yTopSeg, colW-2, gapH, slot,
+						html.EscapeString(label), html.EscapeString(segName), fmtVal(v))
+				}
+				cum += v
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="var(--text-secondary)" text-anchor="middle">%s</text>`+"\n",
+			padL+float64(gi)*groupW+groupW/2, h-10, html.EscapeString(g.label))
+	}
+	b.WriteString("</svg>\n")
+
+	// Legend: protocols for plain columns, categories for stacks.
+	b.WriteString(`<div class="legend">`)
+	if len(segLabels) > 1 {
+		for i, l := range segLabels {
+			fmt.Fprintf(&b, `<span class="key"><span class="swatch" style="background:var(--s%d)"></span>%s</span>`,
+				i+1, html.EscapeString(l))
+		}
+	} else {
+		for _, p := range protoOrder {
+			fmt.Fprintf(&b, `<span class="key"><span class="swatch" style="background:var(--s%d)"></span>%s</span>`,
+				protoSlot(p)+1, html.EscapeString(p))
+		}
+	}
+	b.WriteString("</div>\n")
+
+	// Data table.
+	b.WriteString("<details><summary>Data table</summary><table><tr><th>app</th>")
+	if len(segLabels) > 1 {
+		b.WriteString("<th>protocol</th>")
+		for _, l := range segLabels {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(l))
+		}
+		b.WriteString("</tr>\n")
+		for _, g := range groups {
+			for ci, st := range g.stacks {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td>", html.EscapeString(g.label), html.EscapeString(g.protos[ci]))
+				for _, v := range st {
+					fmt.Fprintf(&b, "<td>%s</td>", fmtVal(v))
+				}
+				b.WriteString("</tr>\n")
+			}
+		}
+	} else {
+		for _, p := range protoOrder {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(p))
+		}
+		b.WriteString("</tr>\n")
+		for _, g := range groups {
+			fmt.Fprintf(&b, "<tr><td>%s</td>", html.EscapeString(g.label))
+			for _, p := range protoOrder {
+				cell := "–"
+				for ci, gp := range g.protos {
+					if gp == p {
+						cell = fmtVal(g.stacks[ci][0])
+					}
+				}
+				fmt.Fprintf(&b, "<td>%s</td>", cell)
+			}
+			b.WriteString("</tr>\n")
+		}
+	}
+	b.WriteString("</table></details>\n")
+	return b.String()
+}
+
+// WriteHTML renders the evaluation report as a self-contained HTML page.
+func WriteHTML(w io.Writer, rep Report) error {
+	sub := fmt.Sprintf("scale %s · %d processors · %d runs", rep.Scale, rep.Procs, len(rep.Runs))
+	doc := telemetry.NewHTMLDoc("Lazy release consistency · evaluation report", sub)
+
+	// Index default-config runs by app and protocol.
+	type cell = ReportRun
+	byApp := map[string]map[string]cell{}
+	var appNames []string
+	for _, r := range rep.Runs {
+		if r.Config != "default" {
+			continue
+		}
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[string]cell{}
+			appNames = append(appNames, r.App)
+		}
+		byApp[r.App][r.Protocol] = r
+	}
+	sort.Strings(appNames)
+
+	// Normalized execution time (Figure 4's shape): one column per
+	// protocol per app, normalized to the app's SC run.
+	var normGroups, stackGroups []columnGroup
+	for _, app := range appNames {
+		cells := byApp[app]
+		sc, hasSC := cells["sc"]
+		ng := columnGroup{label: app}
+		sg := columnGroup{label: app}
+		for _, p := range protoOrder {
+			r, ok := cells[p]
+			if !ok {
+				continue
+			}
+			norm := 0.0
+			if hasSC && sc.ExecCycles > 0 {
+				norm = float64(r.ExecCycles) / float64(sc.ExecCycles)
+			}
+			ng.stacks = append(ng.stacks, []float64{norm})
+			ng.protos = append(ng.protos, p)
+			scTotal := float64(sc.CPUCycles + sc.ReadCycles + sc.WriteCycles + sc.SyncCycles)
+			if !hasSC || scTotal == 0 {
+				continue
+			}
+			sg.stacks = append(sg.stacks, []float64{
+				float64(r.CPUCycles) / scTotal,
+				float64(r.ReadCycles) / scTotal,
+				float64(r.WriteCycles) / scTotal,
+				float64(r.SyncCycles) / scTotal,
+			})
+			sg.protos = append(sg.protos, p)
+		}
+		if len(ng.stacks) > 0 {
+			normGroups = append(normGroups, ng)
+		}
+		if len(sg.stacks) > 0 {
+			stackGroups = append(stackGroups, sg)
+		}
+	}
+	if len(normGroups) > 0 {
+		doc.Section("Normalized execution time (SC = 1)",
+			groupedColumns(normGroups, []string{"normalized time"}, "× SC"))
+	}
+	if len(stackGroups) > 0 {
+		doc.Section("Aggregate cycle breakdown, normalized to SC total",
+			groupedColumns(stackGroups, breakdownLabels[:], "share of SC cycles"))
+	}
+
+	// Full measurements table, every config.
+	var b strings.Builder
+	b.WriteString("<table><tr><th>config</th><th>app</th><th>protocol</th><th>exec cycles</th><th>msgs</th><th>bytes</th><th>miss %</th><th>verified</th><th>metrics digest</th></tr>\n")
+	for _, r := range rep.Runs {
+		ok := "yes"
+		if !r.Verified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.3f</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(r.Config), html.EscapeString(r.App), html.EscapeString(r.Protocol),
+			r.ExecCycles, r.NetworkMsgs, r.NetworkBytes, r.MissRatePct, ok, html.EscapeString(short(r.MetricsDigest)))
+	}
+	b.WriteString("</table>\n")
+	doc.Section("All runs", b.String())
+
+	return doc.Render(w)
+}

@@ -55,6 +55,10 @@ type ReportRun struct {
 	NetworkMsgs  uint64 `json:"network_msgs"`
 	NetworkBytes uint64 `json:"network_bytes"`
 
+	// MetricsDigest fingerprints the run's cycle-domain telemetry shape
+	// (see runner.Result.MetricsDigest). Empty in pre-telemetry baselines.
+	MetricsDigest string `json:"metrics_digest,omitempty"`
+
 	Verified bool   `json:"verified"`
 	Error    string `json:"error,omitempty"`
 }
@@ -78,6 +82,7 @@ func (e *Evaluator) Report() Report {
 			MissRatePct:  100 * r.MissRate,
 			NetworkMsgs:  r.Msgs,
 			NetworkBytes: r.Bytes,
+			MetricsDigest: r.MetricsDigest,
 			Verified:     r.VerifyErr == nil,
 			MissShares:   map[string]float64{},
 		}

@@ -1,0 +1,38 @@
+package machine_test
+
+import (
+	"testing"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+// benchGauss simulates one full tiny gauss run under lrc, with telemetry
+// off (interval 0) or sampling at the given interval. Comparing the two
+// benchmarks supports the overhead contract: telemetry disabled must be
+// free (the instrument calls are nil-receiver no-ops), and enabled it
+// stays within a few percent.
+//
+//	go test ./internal/machine -bench 'SimTelemetry' -benchtime 5x
+func benchGauss(b *testing.B, metricsInterval uint64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(config.Default(8), "lrc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metricsInterval > 0 {
+			m.EnableMetrics(metricsInterval)
+		}
+		app := apps.NewGauss(apps.Tiny)
+		app.Setup(m)
+		m.Run(app.Worker)
+		if err := app.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTelemetryDisabled(b *testing.B) { benchGauss(b, 0) }
+func BenchmarkSimTelemetryEnabled(b *testing.B)  { benchGauss(b, 4096) }

@@ -23,6 +23,7 @@ import (
 	"lazyrc/internal/protocol"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/stats"
+	"lazyrc/internal/telemetry"
 )
 
 // Addr is a simulated shared-memory address (byte granularity).
@@ -37,6 +38,9 @@ type Machine struct {
 	Nodes []*protocol.Node
 	Stats *stats.Machine
 	Class *stats.Classifier
+	// Tel is the telemetry registry when metrics are enabled (see
+	// EnableMetrics in metrics.go), nil otherwise.
+	Tel *telemetry.Registry
 
 	backing []byte
 	brk     Addr
@@ -318,6 +322,9 @@ func (m *Machine) Run(worker func(p *Proc)) {
 		}
 	}()
 	m.Eng.Run()
+	// Closing telemetry sample at the final simulated cycle (a no-op when
+	// the run ended exactly on a tick, or when metrics are disabled).
+	m.Tel.Sample(m.Eng.Now())
 }
 
 // ContentionReport summarizes hardware-resource contention after a run:

@@ -71,6 +71,10 @@ type Network struct {
 	// Trace, when non-nil, observes every message at send time —
 	// debugging and the protocolwalk example.
 	Trace func(Msg)
+
+	// tel, when non-nil, feeds per-kind latency histograms (see
+	// telemetry.go). Collection is passive: it never changes timing.
+	tel *telemetrySink
 }
 
 // Msg is one network message. Protocol packages define the meaning of
@@ -350,6 +354,7 @@ func (n *Network) transmit(m Msg, extra uint64) {
 	sendStart, _ := n.out[m.Src].Acquire(n.eng.Now(), occ)
 	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser + extra
 	deliver := n.in[m.Dst].AcquireWindow(rawArrival, occ)
+	n.tel.observe(m.Kind, deliver-n.eng.Now())
 	n.flightAdd(m)
 	n.eng.At(deliver, func() { n.flightRemove(m); n.handlers[m.Dst](m) })
 }

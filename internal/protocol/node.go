@@ -585,6 +585,15 @@ func (n *Node) WTPendingCount() int { return n.wtPending }
 // this node's next acquire.
 func (n *Node) PendingInvals() int { return len(n.pendInv) }
 
+// DelayedNotices returns how many write notices the lazier protocol is
+// holding unposted at this node (0 for protocols without delayed
+// notices).
+func (n *Node) DelayedNotices() int { return len(n.delayed) }
+
+// SyncWaiting reports whether this node's CPU is currently blocked in a
+// synchronization acquire (lock or barrier wait gate open).
+func (n *Node) SyncWaiting() bool { return n.sync.gate != nil }
+
 // DuplicatesIgnored returns how many injected duplicate deliveries this
 // node discarded.
 func (n *Node) DuplicatesIgnored() uint64 { return n.dupIgnored }

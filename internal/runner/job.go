@@ -25,7 +25,9 @@ import (
 // fingerprintVersion is folded into every fingerprint. Bump it when the
 // meaning of a job changes without its spec changing (simulator semantics,
 // result schema) to invalidate stale caches wholesale.
-const fingerprintVersion = "lazyrc-job-v1"
+// v2: results grew the telemetry metrics digest; cached v1 results lack
+// it and must be recomputed.
+const fingerprintVersion = "lazyrc-job-v2"
 
 // Job is one simulation to run: an application at a scale, a protocol,
 // and a fully materialized machine configuration. Two jobs with the same

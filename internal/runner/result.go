@@ -32,6 +32,13 @@ type Result struct {
 	Msgs  uint64 `json:"network_msgs"`
 	Bytes uint64 `json:"network_bytes"`
 
+	// MetricsDigest is the SHA-256 of the run's canonical telemetry
+	// export (fixed sampling interval; see metricsInterval). Telemetry is
+	// cycle-domain and engine-driven, so the digest is identical across
+	// worker counts and machines — the regression gate compares it to
+	// catch shape drift that end-of-run totals would miss.
+	MetricsDigest string `json:"metrics_digest,omitempty"`
+
 	// VerifyErr records a deterministic numerical-verification failure.
 	// Such results are still cacheable: the same job always fails the
 	// same way.
@@ -66,6 +73,11 @@ func (r *Result) Err() error {
 // simulate executes one job and fills in its measurements. It is a
 // package variable so tests can substitute a crashing body to exercise
 // panic capture.
+// metricsInterval is the fixed telemetry sampling interval for runner
+// jobs. Part of the result contract: changing it changes every metrics
+// digest, so bump fingerprintVersion with it.
+const metricsInterval = 4096
+
 var simulate = func(j Job, res *Result) error {
 	app, err := apps.New(j.App, j.Scale)
 	if err != nil {
@@ -74,7 +86,7 @@ var simulate = func(j Job, res *Result) error {
 	if err := j.Cfg.Validate(); err != nil {
 		return err
 	}
-	m, verr := apps.Run(j.Cfg, j.Proto, app)
+	m, reg, verr := apps.RunInstrumented(j.Cfg, j.Proto, app, metricsInterval)
 	if verr != nil {
 		res.VerifyErr = verr.Error()
 	}
@@ -85,6 +97,7 @@ var simulate = func(j Job, res *Result) error {
 		res.MissRate = m.Stats.MissRate()
 		res.MissShares = m.Stats.MissShares()
 		res.Msgs, res.Bytes = m.Net.Stats()
+		res.MetricsDigest = reg.Digest()
 	}
 	return nil
 }

@@ -163,3 +163,30 @@ func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
 		t.Fatal("results differ between 1 and 8 workers")
 	}
 }
+
+// TestMetricsDigestIdenticalAcrossWorkerCounts pins the telemetry half
+// of the -j guarantee explicitly: every result carries a metrics digest,
+// and the digest of each run — a fingerprint of its whole cycle-domain
+// shape, not just end-of-run totals — is identical whether the batch ran
+// serially or on 8 workers.
+func TestMetricsDigestIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	jobs := []Job{
+		tinyJob("gauss", "sc"), tinyJob("gauss", "lrc"),
+		tinyJob("fft", "lrc"), tinyJob("mp3d", "erc"),
+	}
+	serial := New(1, nil).DoAll(jobs)
+	parallel := New(8, nil).DoAll(jobs)
+	for i := range jobs {
+		s, p := serial[i], parallel[i]
+		if s.MetricsDigest == "" {
+			t.Fatalf("%s/%s: no metrics digest attached", s.App, s.Proto)
+		}
+		if s.MetricsDigest != p.MetricsDigest {
+			t.Fatalf("%s/%s: digest differs between -j1 and -j8: %s vs %s",
+				s.App, s.Proto, s.MetricsDigest, p.MetricsDigest)
+		}
+	}
+}

@@ -112,6 +112,17 @@ func (p *Proc) BusyAndStall() uint64 {
 	return p.CPU + p.ReadStall + p.WriteStall + p.SyncStall
 }
 
+// Utilization returns the CPU-busy share of this processor's accounted
+// cycles — 1.0 means it never stalled, 0 means it did no work (or ran no
+// workload at all).
+func (p *Proc) Utilization() float64 {
+	total := p.BusyAndStall()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.CPU) / float64(total)
+}
+
 // Machine aggregates per-processor statistics for one run.
 type Machine struct {
 	Procs []Proc
@@ -176,4 +187,24 @@ func (m *Machine) ExecutionTime() uint64 {
 		}
 	}
 	return max
+}
+
+// Imbalance returns the ratio of the slowest processor's finish time to
+// the mean finish time — 1.0 is a perfectly balanced run; 2.0 means the
+// critical path ran twice as long as the average processor. Returns 0
+// before any processor has finished.
+func (m *Machine) Imbalance() float64 {
+	var sum, max uint64
+	for i := range m.Procs {
+		f := m.Procs[i].FinishTime
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	if sum == 0 || len(m.Procs) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(m.Procs))
+	return float64(max) / mean
 }

@@ -62,6 +62,39 @@ func TestMachineAggregateAndRates(t *testing.T) {
 	}
 }
 
+func TestProcUtilization(t *testing.T) {
+	var p Proc
+	if p.Utilization() != 0 {
+		t.Fatal("empty proc utilization nonzero")
+	}
+	p.CPU, p.ReadStall, p.WriteStall, p.SyncStall = 30, 40, 10, 20
+	if got := p.Utilization(); got != 0.3 {
+		t.Fatalf("utilization = %v, want 0.3", got)
+	}
+	p = Proc{CPU: 7}
+	if got := p.Utilization(); got != 1.0 {
+		t.Fatalf("stall-free utilization = %v, want 1", got)
+	}
+}
+
+func TestMachineImbalance(t *testing.T) {
+	m := NewMachine(4)
+	if m.Imbalance() != 0 {
+		t.Fatal("empty machine imbalance nonzero")
+	}
+	for i := range m.Procs {
+		m.Procs[i].FinishTime = 100
+	}
+	if got := m.Imbalance(); got != 1.0 {
+		t.Fatalf("balanced imbalance = %v, want 1", got)
+	}
+	// Finish times 100,100,100,200: max 200 over mean 125 = 1.6.
+	m.Procs[3].FinishTime = 200
+	if got := m.Imbalance(); got != 1.6 {
+		t.Fatalf("imbalance = %v, want 1.6", got)
+	}
+}
+
 func TestMissSharesEmpty(t *testing.T) {
 	m := NewMachine(4)
 	if m.MissRate() != 0 {

@@ -42,20 +42,30 @@ type Event struct {
 
 // Tracer writes events to an io.Writer as JSON lines.
 type Tracer struct {
-	w      io.Writer
-	filter func(Event) bool
-	n      uint64
-	limit  uint64
-	err    error
+	w       io.Writer
+	filter  func(Event) bool
+	n       uint64
+	limit   uint64
+	dropped uint64
+	err     error
 }
 
 // Option configures a Tracer.
 type Option func(*Tracer)
 
 // WithBlockFilter keeps only events touching the given coherence block.
+// Synchronization events (acquire, release) identify a sync object, not a
+// block — their Block field is always zero — so they pass the filter
+// unconditionally: a per-block trace without the acquires and releases
+// that order its transitions would be unreadable.
 func WithBlockFilter(block uint64) Option {
 	return func(t *Tracer) {
-		t.filter = func(e Event) bool { return e.Block == block }
+		t.filter = func(e Event) bool {
+			if e.Kind == "acquire" || e.Kind == "release" {
+				return true
+			}
+			return e.Block == block
+		}
 	}
 }
 
@@ -110,6 +120,7 @@ func (t *Tracer) record(e Event) {
 		return
 	}
 	if t.limit > 0 && t.n >= t.limit {
+		t.dropped++
 		return
 	}
 	t.n++
@@ -125,6 +136,13 @@ func (t *Tracer) record(e Event) {
 
 // Events returns the number of events recorded.
 func (t *Tracer) Events() uint64 { return t.n }
+
+// Dropped returns the number of events discarded after the limit was
+// reached — nonzero means the trace is truncated, not complete.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Truncated reports whether the event limit cut the trace short.
+func (t *Tracer) Truncated() bool { return t.dropped > 0 }
 
 // Err returns the first write or encoding error, if any.
 func (t *Tracer) Err() error { return t.err }

@@ -91,6 +91,55 @@ func TestTraceBlockFilter(t *testing.T) {
 	}
 }
 
+// TestTraceBlockFilterKeepsSyncEvents is the regression test for the
+// filter dropping acquire/release: sync events carry an Obj, not a
+// Block, so a nonzero block filter used to discard every one of them —
+// exactly the events that anchor a block's story to the happens-before
+// order. The filter must keep all sync events and discard only
+// block-scoped events for other blocks.
+func TestTraceBlockFilterKeepsSyncEvents(t *testing.T) {
+	_, buf := runTraced(t, WithBlockFilter(1))
+	var sawAcquire, sawRelease bool
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Kind {
+		case "acquire":
+			sawAcquire = true
+		case "release":
+			sawRelease = true
+		default:
+			if e.Block != 1 {
+				t.Fatalf("filter leaked %s event for block %d", e.Kind, e.Block)
+			}
+		}
+	}
+	if !sawAcquire || !sawRelease {
+		t.Fatalf("block filter dropped sync events: acquire=%v release=%v",
+			sawAcquire, sawRelease)
+	}
+}
+
+func TestTraceLimitCountsDropped(t *testing.T) {
+	tr, _ := runTraced(t, WithLimit(5))
+	if !tr.Truncated() {
+		t.Fatal("limited trace not reported as truncated")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("dropped counter stayed zero past the limit")
+	}
+	full, _ := runTraced(t)
+	if full.Truncated() || full.Dropped() != 0 {
+		t.Fatalf("unlimited trace reports truncation: dropped=%d", full.Dropped())
+	}
+	if got := tr.Events() + tr.Dropped(); got != full.Events() {
+		t.Fatalf("recorded+dropped = %d, want the full trace's %d events",
+			got, full.Events())
+	}
+}
+
 func TestTraceLimit(t *testing.T) {
 	tr, buf := runTraced(t, WithLimit(5))
 	if tr.Events() != 5 {
