@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -25,7 +26,9 @@ import (
 	"text/tabwriter"
 
 	"lazyrc"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/check"
+	"lazyrc/internal/machine"
 	"lazyrc/internal/mc"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/telemetry"
@@ -60,8 +63,26 @@ func main() {
 		metricsInt = flag.Uint64("metrics-interval", 5000, "telemetry sampling interval in simulated cycles")
 		reportFile = flag.String("report", "", "write a self-contained HTML run report to this file (implies telemetry collection)")
 		validateM  = flag.String("validate-metrics", "", "validate a telemetry JSONL export against the current schema and exit")
+		spans      = flag.Bool("spans", false, "trace causal coherence-transaction spans and write a Perfetto/Chrome trace-event JSON to -spans-out")
+		spansOut   = flag.String("spans-out", "trace.json", "Perfetto trace JSON output path (with -spans)")
+		spansMax   = flag.Int("spans-max", 0, "cap on retained spans (0: default limit)")
+		critPath   = flag.Int("critical-path", 0, "print the critical-path stall attribution table and the N longest stall episodes (implies span collection)")
+		validateS  = flag.String("validate-spans", "", "validate a Perfetto trace JSON export against the trace-event schema and exit")
 	)
 	flag.Parse()
+
+	if *validateS != "" {
+		data, err := os.ReadFile(*validateS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := causal.ValidateTrace(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid trace-event JSON: %d events\n", *validateS, n)
+		return
+	}
 
 	if *validateM != "" {
 		hdr, err := telemetry.ValidateFile(*validateM)
@@ -157,6 +178,9 @@ func main() {
 		reg.SetMeta("app", app.Name())
 		reg.SetMeta("scale", sc.String())
 	}
+	if *spans || *critPath > 0 {
+		m.EnableSpans(true, *spansMax)
+	}
 	app.Setup(m)
 	m.Run(app.Worker)
 	if m.Eng.Stopped() {
@@ -219,8 +243,38 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "report: %s\n", *reportFile)
 	}
+	if m.Causal != nil {
+		if d := m.Causal.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: span store truncated: %d spans dropped (-spans-max)\n", d)
+		}
+		if *spans {
+			f, err := os.Create(*spansOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := causal.WritePerfetto(f, m.Causal, machine.MsgKindName); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "spans: %d spans (digest %s) to %s; open in ui.perfetto.dev\n",
+				m.Causal.Count(), m.Causal.Digest(), *spansOut)
+		}
+	}
 
-	printReport(m, app, sc, *proto, *procs, *contention, *traffic)
+	printReport(os.Stdout, m, app, sc, *proto, *procs, *contention, *traffic)
+
+	if *critPath > 0 {
+		a := causal.Analyze(m.Causal)
+		fmt.Println()
+		fmt.Println("critical-path stall attribution (cycles by protocol cause)")
+		a.WriteTable(os.Stdout)
+		fmt.Println()
+		fmt.Printf("top %d stall episodes\n", *critPath)
+		a.WriteTop(os.Stdout, *critPath)
+	}
 }
 
 // replay re-executes a recorded counterexample schedule and reports
@@ -255,8 +309,8 @@ func replay(path string) {
 	}
 }
 
-func printReport(m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto string, procs int, contention, traffic bool) {
-	w := tabwriter.NewWriter(os.Stdout, 0, 8, 2, ' ', 0)
+func printReport(out io.Writer, m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto string, procs int, contention, traffic bool) {
+	w := tabwriter.NewWriter(out, 0, 8, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintf(w, "application\t%s (%s)\n", app.Name(), sc)
 	fmt.Fprintf(w, "protocol\t%s\n", proto)
@@ -271,22 +325,30 @@ func printReport(m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto strin
 		fmt.Fprintf(w, "  write stall\t%d (%.1f%%)\n", wr, 100*float64(wr)/float64(total))
 		fmt.Fprintf(w, "  sync stall\t%d (%.1f%%)\n", sy, 100*float64(sy)/float64(total))
 	}
-	var minU, maxU, sumU float64
-	for i := range m.Stats.Procs {
-		u := m.Stats.Procs[i].Utilization()
-		if i == 0 || u < minU {
-			minU = u
+	// Utilization and imbalance are derived from per-processor accounted
+	// cycles and finish times. On a run that accounted no cycles (an
+	// aborted run, a replay) both derivations are zero-valued noise, so
+	// the lines are suppressed rather than printed as 0.0%.
+	if total > 0 {
+		var minU, maxU, sumU float64
+		for i := range m.Stats.Procs {
+			u := m.Stats.Procs[i].Utilization()
+			if i == 0 || u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+			sumU += u
 		}
-		if u > maxU {
-			maxU = u
+		if n := len(m.Stats.Procs); n > 0 {
+			fmt.Fprintf(w, "cpu utilization\t%.1f%% mean (%.1f%% min, %.1f%% max)\n",
+				100*sumU/float64(n), 100*minU, 100*maxU)
 		}
-		sumU += u
 	}
-	if n := len(m.Stats.Procs); n > 0 {
-		fmt.Fprintf(w, "cpu utilization\t%.1f%% mean (%.1f%% min, %.1f%% max)\n",
-			100*sumU/float64(n), 100*minU, 100*maxU)
+	if imb := m.Stats.Imbalance(); imb > 0 {
+		fmt.Fprintf(w, "load imbalance\t%.3f (max/mean finish time)\n", imb)
 	}
-	fmt.Fprintf(w, "load imbalance\t%.3f (max/mean finish time)\n", m.Stats.Imbalance())
 	fmt.Fprintf(w, "miss rate\t%.3f%%\n", 100*m.Stats.MissRate())
 	shares := m.Stats.MissShares()
 	fmt.Fprintf(w, "  cold/true/false/evict/write\t%.1f%% / %.1f%% / %.1f%% / %.1f%% / %.1f%%\n",
@@ -297,12 +359,12 @@ func printReport(m *lazyrc.Machine, app lazyrc.App, sc lazyrc.Scale, proto strin
 	fmt.Fprintf(w, "shared footprint\t%d bytes\n", m.Footprint())
 	if contention {
 		w.Flush()
-		fmt.Println()
-		fmt.Print(m.ContentionReport())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, m.ContentionReport())
 	}
 	if traffic {
 		w.Flush()
-		fmt.Println()
-		fmt.Print(m.TrafficReport())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, m.TrafficReport())
 	}
 }

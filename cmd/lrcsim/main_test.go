@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lazyrc"
+)
+
+func tinyRun(t *testing.T, metrics, spans bool) *lazyrc.Machine {
+	t.Helper()
+	cfg := lazyrc.DefaultConfig(8)
+	m, err := lazyrc.NewMachine(cfg, "lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics {
+		m.EnableMetrics(5000)
+	}
+	if spans {
+		m.EnableSpans(true, 0)
+	}
+	app, err := lazyrc.NewApp("gauss", lazyrc.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Setup(m)
+	m.Run(app.Worker)
+	if err := app.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func report(t *testing.T, m *lazyrc.Machine) string {
+	t.Helper()
+	app, err := lazyrc.NewApp("gauss", lazyrc.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	printReport(&buf, m, app, lazyrc.ScaleTiny, "lrc", 8, false, false)
+	return buf.String()
+}
+
+// TestReportSuppressesDerivedLinesWithoutData pins the fix for the
+// summary printing zero-valued derived metrics: on a machine that
+// accounted no cycles (nothing ran), the cpu-utilization and
+// load-imbalance lines are suppressed instead of rendering as 0.0%.
+func TestReportSuppressesDerivedLinesWithoutData(t *testing.T) {
+	m, err := lazyrc.NewMachine(lazyrc.DefaultConfig(8), "lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report(t, m)
+	for _, banned := range []string{"cpu utilization", "load imbalance"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report shows %q with no accounted cycles:\n%s", banned, out)
+		}
+	}
+	if !strings.Contains(out, "execution time") {
+		t.Fatalf("report lost its headline lines:\n%s", out)
+	}
+}
+
+// TestReportIdenticalAcrossInstrumentationMatrix runs the same workload
+// under every combination of the -metrics and -spans flags and requires
+// the printed summary to be byte-identical: both instruments are
+// passive, so no flag combination may change a reported number — and a
+// real run always carries the utilization and imbalance lines.
+func TestReportIdenticalAcrossInstrumentationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var base string
+	for _, c := range []struct{ metrics, spans bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		out := report(t, tinyRun(t, c.metrics, c.spans))
+		if base == "" {
+			base = out
+			for _, want := range []string{"cpu utilization", "load imbalance"} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("report missing %q after a real run:\n%s", want, out)
+				}
+			}
+			continue
+		}
+		if out != base {
+			t.Errorf("report differs with metrics=%v spans=%v:\n%s\nvs baseline:\n%s",
+				c.metrics, c.spans, out, base)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func main() {
 		tol        = flag.Float64("tol", 0, "gate tolerance on cycle counts and traffic, in percent of the baseline value")
 		writeBase  = flag.String("write-baseline", "", "write the canonical (provenance-free) report to this file, for committing as the gate baseline")
 		reportOut  = flag.String("report", "", "write a self-contained HTML report of the evaluation to this file")
+		critPath   = flag.Bool("critical-path", false, "also print the per-app per-protocol critical-path stall attribution table (runs span-traced simulations outside the result cache)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -149,6 +150,9 @@ func main() {
 		for _, app := range []string{"mp3d", "blu", "gauss"} {
 			emit("scaling", exp.RunScaling(rn, scale, app, exp.ScalingCounts))
 		}
+	}
+	if *critPath {
+		emit("critical-path", exp.CriticalPath(scale, *procs, *seed, nil))
 	}
 
 	exitCode := 0

@@ -42,3 +42,24 @@ func RunInstrumented(cfg config.Config, protoName string, app App, interval uint
 	}
 	return m, reg, nil
 }
+
+// RunTraced is RunInstrumented with digest-only causal span tracing on
+// top: the run additionally carries a span-stream fingerprint
+// (m.Causal.Digest()) without retaining the span store, keeping memory
+// bounded for runner sweeps. Both instruments are passive, so the
+// simulated run is still identical to Run's.
+func RunTraced(cfg config.Config, protoName string, app App, interval uint64) (*machine.Machine, *telemetry.Registry, error) {
+	m, err := machine.New(cfg, protoName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apps: %w", err)
+	}
+	reg := m.EnableMetrics(interval)
+	reg.SetMeta("app", app.Name())
+	m.EnableSpans(false, 0)
+	app.Setup(m)
+	m.Run(app.Worker)
+	if err := app.Verify(); err != nil {
+		return m, reg, err
+	}
+	return m, reg, nil
+}

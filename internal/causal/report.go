@@ -1,0 +1,71 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the attribution as a cause × stall-class table: for
+// every protocol cause, the stalled cycles charged to it in each stats
+// class, with shares of the total stall time. This is the
+// transaction-granularity mirror of the paper's cycle-breakdown figures:
+// instead of "X% of time was read stall" it answers "X% of stall time
+// was spent queued behind the directory".
+func (a *Attribution) WriteTable(w io.Writer) {
+	total := a.Total()
+	tw := tabwriter.NewWriter(w, 0, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "cause\tread\twrite\tsync\ttotal\tshare\t\n")
+	for c := Cause(0); c < NumCauses; c++ {
+		ct := a.CauseTotal(c)
+		if ct == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ct) / float64(total)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f%%\t\n",
+			c, a.ByCause[StallRead][c], a.ByCause[StallWrite][c],
+			a.ByCause[StallSync][c], ct, share)
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t\t\n",
+		a.ClassTotal(StallRead), a.ClassTotal(StallWrite),
+		a.ClassTotal(StallSync), total)
+	tw.Flush()
+}
+
+// WriteTop renders the n longest stall episodes, one per line: begin
+// cycle, stalled processor, duration and stall class, the park reason,
+// the dominant block on the chain, and the attributed cause chain.
+// This makes protocol pathologies findable from the terminal without
+// opening the exported trace in Perfetto.
+func (a *Attribution) WriteTop(w io.Writer, n int) {
+	top := a.TopN(n)
+	tw := tabwriter.NewWriter(w, 0, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "cycle\tproc\tcycles\tclass\twhy\tblock\tcause chain\n")
+	for _, ep := range top {
+		s := ep.Span
+		fmt.Fprintf(tw, "%d\tP%d\t%d\t%s\t%s\t%s\t%s\n",
+			s.Begin, s.Node, ep.Dur(), s.Class, s.Why,
+			dominantBlock(ep), ep.Chain(4))
+	}
+	tw.Flush()
+}
+
+// dominantBlock returns the block of the episode's longest attributed
+// segment that carries one ("-" when no covering span named a block).
+func dominantBlock(ep *Episode) string {
+	var best uint64
+	var block uint64
+	found := false
+	for _, seg := range ep.Segments {
+		if seg.Block != 0 && seg.Dur() > best {
+			best, block, found = seg.Dur(), seg.Block, true
+		}
+	}
+	if !found {
+		return "-"
+	}
+	return fmt.Sprintf("%#x", block)
+}

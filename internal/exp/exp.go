@@ -29,6 +29,8 @@ type Run struct {
 	MissShares             [stats.NumMissKinds]float64
 	Msgs, Bytes            uint64
 	MetricsDigest          string
+	Spans                  uint64
+	SpanDigest             string
 	VerifyErr              error
 }
 
@@ -144,6 +146,8 @@ func runFromResult(res *runner.Result, cfgName string) *Run {
 		MissShares: res.MissShares,
 		Msgs:       res.Msgs, Bytes: res.Bytes,
 		MetricsDigest: res.MetricsDigest,
+		Spans:         res.Spans,
+		SpanDigest:    res.SpanDigest,
 	}
 	if err := res.Err(); err != nil {
 		r.VerifyErr = err

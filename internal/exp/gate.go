@@ -98,6 +98,16 @@ func Gate(baseline, fresh Report, tolPct float64) []string {
 			fail("%s: metrics digest changed: %s -> %s (telemetry shape drift)",
 				k, short(base.MetricsDigest), short(run.MetricsDigest))
 		}
+		// The span digest fingerprints the run's causal event stream —
+		// every coherence transaction, stall episode, and message flight
+		// with its cycle stamps — so it catches protocol-behaviour drift
+		// that neither the scalar totals nor the sampled telemetry see.
+		// Same both-sides rule as the metrics digest.
+		if base.SpanDigest != "" && run.SpanDigest != "" &&
+			base.SpanDigest != run.SpanDigest {
+			fail("%s: span digest changed: %s -> %s (causal event-stream drift)",
+				k, short(base.SpanDigest), short(run.SpanDigest))
+		}
 		if base.Verified && !run.Verified {
 			fail("%s: run no longer verifies: %s", k, run.Error)
 		}

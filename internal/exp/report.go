@@ -59,6 +59,12 @@ type ReportRun struct {
 	// (see runner.Result.MetricsDigest). Empty in pre-telemetry baselines.
 	MetricsDigest string `json:"metrics_digest,omitempty"`
 
+	// Spans and SpanDigest carry the run's causal span count and stream
+	// fingerprint (see runner.Result.SpanDigest). Empty in pre-tracing
+	// baselines.
+	Spans      uint64 `json:"spans,omitempty"`
+	SpanDigest string `json:"span_digest,omitempty"`
+
 	Verified bool   `json:"verified"`
 	Error    string `json:"error,omitempty"`
 }
@@ -83,6 +89,8 @@ func (e *Evaluator) Report() Report {
 			NetworkMsgs:  r.Msgs,
 			NetworkBytes: r.Bytes,
 			MetricsDigest: r.MetricsDigest,
+			Spans:         r.Spans,
+			SpanDigest:    r.SpanDigest,
 			Verified:     r.VerifyErr == nil,
 			MissShares:   map[string]float64{},
 		}

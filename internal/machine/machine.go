@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"lazyrc/internal/causal"
 	"lazyrc/internal/config"
 	"lazyrc/internal/directory"
 	"lazyrc/internal/faults"
@@ -41,6 +42,9 @@ type Machine struct {
 	// Tel is the telemetry registry when metrics are enabled (see
 	// EnableMetrics in metrics.go), nil otherwise.
 	Tel *telemetry.Registry
+	// Causal is the span tracer when causal tracing is enabled (see
+	// EnableSpans in spans.go), nil otherwise.
+	Causal *causal.Tracer
 
 	backing []byte
 	brk     Addr

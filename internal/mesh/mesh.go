@@ -14,6 +14,7 @@ package mesh
 import (
 	"fmt"
 
+	"lazyrc/internal/causal"
 	"lazyrc/internal/config"
 	"lazyrc/internal/faults"
 	"lazyrc/internal/sim"
@@ -75,6 +76,12 @@ type Network struct {
 	// tel, when non-nil, feeds per-kind latency histograms (see
 	// telemetry.go). Collection is passive: it never changes timing.
 	tel *telemetrySink
+
+	// causal, when non-nil, stamps each message with the causal
+	// transaction id current at send time and records one net span per
+	// wire flight. Passive: it reads timestamps the timing model already
+	// computed.
+	causal *causal.Tracer
 }
 
 // Msg is one network message. Protocol packages define the meaning of
@@ -102,6 +109,12 @@ type Msg struct {
 	// injection is active (0 otherwise). An injected duplicate carries its
 	// original's TID; receivers deduplicate on it.
 	TID uint64
+
+	// CT is the causal transaction id threaded through the message,
+	// stamped at Send from the tracer's current context when causal
+	// tracing is enabled (0 otherwise). Like TID it depends on dynamic
+	// send order, so it is excluded from msgHash.
+	CT uint64
 }
 
 // New builds the mesh for the given configuration.
@@ -201,6 +214,11 @@ func (n *Network) SetExplorer(ch sim.Chooser, menu []uint64) error {
 	return nil
 }
 
+// SetCausal attaches (or, with nil, detaches) a causal span tracer.
+// With one attached every Send stamps the message's CT from the
+// tracer's current context and every wire flight records a net span.
+func (n *Network) SetCausal(t *causal.Tracer) { n.causal = t }
+
 // MarkRetryable registers a message kind as having an end-to-end retry,
 // making it legal for a fault plan to drop it. The base protocols assume
 // a reliable fabric and register none.
@@ -247,6 +265,9 @@ func (n *Network) TransferCycles(size int) uint64 {
 func (n *Network) Send(m Msg) {
 	if n.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler on node %d (Network.Finalize not called or node never registered)", m.Dst))
+	}
+	if n.causal != nil {
+		m.CT = n.causal.Current()
 	}
 	if m.Src == m.Dst && !n.LocalLoopback {
 		// Node-local protocol transitions never touch the network and are
@@ -355,6 +376,8 @@ func (n *Network) transmit(m Msg, extra uint64) {
 	rawArrival := sendStart + n.hopLat*n.Hops(m.Src, m.Dst) + ser + extra
 	deliver := n.in[m.Dst].AcquireWindow(rawArrival, occ)
 	n.tel.observe(m.Kind, deliver-n.eng.Now())
+	n.causal.Net(m.CT, m.Src, m.Dst, m.Kind, m.Addr,
+		n.eng.Now(), deliver, sendStart-n.eng.Now(), deliver-rawArrival)
 	n.flightAdd(m)
 	n.eng.At(deliver, func() { n.flightRemove(m); n.handlers[m.Dst](m) })
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/directory"
 	"lazyrc/internal/mesh"
 	"lazyrc/internal/stats"
@@ -162,7 +163,7 @@ func eagerUnbusy(n *Node, block uint64) {
 		es.deferred[block] = q[1:]
 	}
 	es.servicing[block] = true
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, block, n.dirCost())
 	n.Env.Eng.At(dirEnd, func() {
 		delete(es.servicing, block)
 		memEnd := maxTime(p.memEnd, n.now())
@@ -179,7 +180,7 @@ func eagerUnbusy(n *Node, block uint64) {
 // protocol eliminates).
 func eagerHomeRead(n *Node, m mesh.Msg) {
 	memEnd := n.memAccess(n.lineBytes())
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(dirEnd, func() {
 		if !eagerAdmit(n, m, memEnd) {
 			return
@@ -229,7 +230,7 @@ func eagerHomeWrite(n *Node, m mesh.Msg) {
 	if m.Arg&wantData != 0 {
 		memEnd = n.memAccess(n.lineBytes())
 	}
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(dirEnd, func() {
 		if !eagerAdmit(n, m, memEnd) {
 			return
@@ -293,7 +294,7 @@ func eagerProcessWrite(n *Node, m mesh.Msg, memEnd uint64) {
 			return
 		}
 		// Invalidate every other sharer and collect acks here.
-		_, dspEnd := n.PP.Acquire(n.now(), uint64(len(others))*n.noticeCost())
+		dspEnd := n.ppAcquire(causal.KindFanout, m.Addr, uint64(len(others))*n.noticeCost())
 		e.PendingAcks = len(others)
 		n.eager().grants[m.Addr] = eagerGrant{writer: m.Src, wantData: wantsData}
 		n.Env.Eng.At(dspEnd, func() {
@@ -310,7 +311,7 @@ func eagerProcessWrite(n *Node, m mesh.Msg, memEnd uint64) {
 // eagerHomeInvalAck counts one invalidation acknowledgement; the last one
 // releases the waiting writer and replays deferred requests.
 func eagerHomeInvalAck(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindAck, m.Addr, n.noticeCost())
 	n.Env.Eng.At(end, func() {
 		e := n.Dir.Entry(m.Addr)
 		e.PendingAcks--
@@ -343,7 +344,7 @@ func eagerHomeInvalAck(n *Node, m mesh.Msg) {
 func eagerHomeWriteBack(n *Node, m mesh.Msg) {
 	n.mergeHome(m.Addr, m.Vals, ^uint64(0))
 	memEnd := n.memAccess(n.lineBytes())
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(maxTime(dirEnd, memEnd), func() {
 		e := n.Dir.Entry(m.Addr)
 		if e.Writers.Has(m.Src) {
@@ -366,7 +367,7 @@ func eagerHomeWriteBack(n *Node, m mesh.Msg) {
 // DASH retries forwarded requests. Waiting at the owner instead would
 // let two crossing transfers deadlock.
 func eagerOwnerForward(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindNotice, m.Addr, n.noticeCost())
 	n.Env.Eng.At(end, func() {
 		req := int(m.Arg)
 		// NACK when the copy is gone — or when this node's own access to
@@ -450,7 +451,7 @@ func eagerFwdNack(n *Node, m mesh.Msg) {
 // acknowledges the collecting home. Copies still in flight are flagged to
 // die on arrival.
 func eagerInval(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindNotice, m.Addr, n.noticeCost())
 	n.Env.Eng.At(end, func() {
 		// A data fill still in flight dies on arrival; a present copy
 		// dies now — including one with an outstanding upgrade request,

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/directory"
 	"lazyrc/internal/mesh"
 	"lazyrc/internal/stats"
@@ -74,7 +75,7 @@ func lazyDeliver(n *Node, m mesh.Msg) {
 // acquire.
 func lazyHomeRead(n *Node, m mesh.Msg) {
 	memEnd := n.memAccess(n.lineBytes())
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(dirEnd, func() {
 		e := n.Dir.Entry(m.Addr)
 		was := e.State
@@ -85,7 +86,7 @@ func lazyHomeRead(n *Node, m mesh.Msg) {
 			// writer is notified (the one read-triggered notice case).
 			writer := e.Writers.Only()
 			if !e.Notified.Has(writer) {
-				_, dspEnd := n.PP.Acquire(n.now(), n.noticeCost())
+				dspEnd := n.ppAcquire(causal.KindFanout, m.Addr, n.noticeCost())
 				sendEnd = dspEnd
 				e.Notified.Add(writer)
 				e.PendingAcks++
@@ -121,7 +122,7 @@ func lazyHomeWrite(n *Node, m mesh.Msg) {
 	if wantsData {
 		memEnd = n.memAccess(n.lineBytes())
 	}
-	_, dirEnd := n.PP.Acquire(n.now(), n.dirCost())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(dirEnd, func() {
 		e := n.Dir.Entry(m.Addr)
 		e.Sharers.Add(m.Src)
@@ -143,7 +144,7 @@ func lazyHomeWrite(n *Node, m mesh.Msg) {
 		if len(targets) > 0 {
 			// The one case the paper prices specially: directory access
 			// plus per-sharer dispatch cost.
-			_, dspEnd := n.PP.Acquire(n.now(), uint64(len(targets))*n.noticeCost())
+			dspEnd := n.ppAcquire(causal.KindFanout, m.Addr, uint64(len(targets))*n.noticeCost())
 			sendEnd = dspEnd
 			for _, id := range targets {
 				e.Notified.Add(id)
@@ -180,7 +181,7 @@ func lazyHomeWrite(n *Node, m mesh.Msg) {
 // lazyHomeNoticeAck collects one notice acknowledgement; when the set
 // completes, every writer that was told to wait is released at once.
 func lazyHomeNoticeAck(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindAck, m.Addr, n.noticeCost())
 	n.Env.Eng.At(end, func() {
 		e := n.Dir.Entry(m.Addr)
 		e.PendingAcks--
@@ -203,7 +204,7 @@ func lazyHomeNoticeAck(n *Node, m mesh.Msg) {
 // protocols use homeWriteBack.
 func homeWriteThrough(n *Node, m mesh.Msg) {
 	n.mergeHome(m.Addr, m.Vals, m.Arg)
-	_, ppEnd := n.PP.Acquire(n.now(), n.noticeCost())
+	ppEnd := n.ppAcquire(causal.KindDir, m.Addr, n.noticeCost())
 	memEnd := n.memAccess(m.Size)
 	n.Env.Eng.At(maxTime(ppEnd, memEnd), func() {
 		n.send(m.Src, MsgWTAck, m.Addr, 0, 0, 0)
@@ -214,7 +215,7 @@ func homeWriteThrough(n *Node, m mesh.Msg) {
 // invalidation notification or eviction hint) and reverts the block's
 // state per the paper's rule. Shared by all protocols.
 func homeDropCopy(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.dirCost())
+	end := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
 	n.Env.Eng.At(end, func() {
 		e := n.Dir.Peek(m.Addr)
 		if e == nil {
@@ -231,7 +232,9 @@ func homeDropCopy(n *Node, m mesh.Msg) {
 // memAccess starts a memory-module access for b payload bytes now and
 // returns its completion time.
 func (n *Node) memAccess(b int) uint64 {
-	_, end := n.Mem.Acquire(n.now(), n.memCycles(b))
+	req := n.now()
+	start, end := n.Mem.Acquire(req, n.memCycles(b))
+	n.Env.Causal.Service(causal.KindMem, n.ID, 0, req, start, end)
 	return end
 }
 
@@ -316,7 +319,7 @@ func lazyWriteDone(n *Node, m mesh.Msg) {
 // acquire-time invalidation set (it remains readable until then) and the
 // collecting home is acknowledged.
 func lazyNotice(n *Node, m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindNotice, m.Addr, n.noticeCost())
 	n.Env.Eng.At(end, func() {
 		n.PS.NoticesIn++
 		if n.Cache.Lookup(m.Addr) != nil || n.txn(m.Addr) != nil {

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/mesh"
 	"lazyrc/internal/stats"
 )
@@ -49,12 +50,12 @@ func lazyCPURead(n *Node, block uint64, word int) {
 		}
 		if t := n.txn(block); t != nil {
 			if !t.Data.IsOpen() {
-				n.PS.ReadStall += t.Data.Wait(n.CPU, "merged read fill")
+				n.PS.ReadStall += n.waitStall(&t.Data, t.CT, causal.StallRead, "merged read fill")
 				if t.Filled {
 					return
 				}
 			} else {
-				n.PS.ReadStall += t.Done.Wait(n.CPU, "transaction completion")
+				n.PS.ReadStall += n.waitStall(&t.Done, t.CT, causal.StallRead, "transaction completion")
 			}
 			continue
 		}
@@ -62,7 +63,7 @@ func lazyCPURead(n *Node, block uint64, word int) {
 		t := n.newTxn(block)
 		t.ExpectData = true
 		n.send(n.homeOf(block), MsgReadReq, block, 0, 0, 0)
-		n.PS.ReadStall += t.Data.Wait(n.CPU, "read fill")
+		n.PS.ReadStall += n.waitStall(&t.Data, t.CT, causal.StallRead, "read fill")
 		if t.Filled {
 			return
 		}
@@ -92,7 +93,7 @@ func lazyCPUWrite(n *Node, block uint64, word int, eager bool) {
 			if t := n.txn(block); t != nil {
 				// A transaction is in flight for this block (rare race);
 				// let it settle before upgrading.
-				n.PS.WriteStall += t.Done.Wait(n.CPU, "upgrade conflict")
+				n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "upgrade conflict")
 				continue
 			}
 			n.countMiss(block, word, true)
@@ -106,7 +107,7 @@ func lazyCPUWrite(n *Node, block uint64, word int, eager bool) {
 				if n.Env.Cfg.SoftwareCoherence {
 					// Software DSM: the notice round trip runs on the
 					// main processor, not in the background.
-					n.PS.WriteStall += t.Done.Wait(n.CPU, "software notice")
+					n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "software notice")
 				}
 			} else {
 				n.addDelayed(block)
@@ -128,7 +129,7 @@ func lazyCPUWrite(n *Node, block uint64, word int, eager bool) {
 				return
 			}
 			if t := n.txn(block); t != nil {
-				n.PS.WriteStall += t.Done.Wait(n.CPU, "write conflict")
+				n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "write conflict")
 				continue
 			}
 			if _, ok := n.WB.Put(block, word); !ok {
@@ -144,7 +145,7 @@ func lazyCPUWrite(n *Node, block uint64, word int, eager bool) {
 				if n.Env.Cfg.SoftwareCoherence {
 					// Software DSM: the write fault handler blocks until
 					// the notice collection completes.
-					n.PS.WriteStall += t.Done.Wait(n.CPU, "software write fault")
+					n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "software write fault")
 				}
 			} else {
 				// The lazier protocol fetches the data as an ordinary

@@ -1,6 +1,9 @@
 package protocol
 
-import "lazyrc/internal/mesh"
+import (
+	"lazyrc/internal/causal"
+	"lazyrc/internal/mesh"
+)
 
 // LRCExt is the lazier variant of §2: the protocol processor refrains
 // from sending write notices for as long as possible, buffering them
@@ -71,7 +74,7 @@ func (*LRCExt) Release(n *Node) {
 	}
 	if len(blocks) > 0 {
 		// Posting occupies the protocol processor per notice.
-		n.PP.Acquire(n.now(), uint64(len(blocks))*n.noticeCost())
+		n.ppAcquire(causal.KindFanout, 0, uint64(len(blocks))*n.noticeCost())
 		for _, b := range blocks {
 			n.postNotice(b)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/config"
 	"lazyrc/internal/directory"
 	"lazyrc/internal/mesh"
@@ -32,6 +33,12 @@ type Env struct {
 	// line actually holds, making memory-model outcomes observable. Nil
 	// for performance runs.
 	Mem DataMemory
+
+	// Causal, when non-nil, records every coherence transaction, stall
+	// episode, and hardware service interval as causally-linked spans.
+	// Strictly passive — it observes cycle stamps the timing model
+	// already computed — and all hooks are nil-receiver no-ops.
+	Causal *causal.Tracer
 
 	// pageHome is the FirstTouch page-placement table (-1 = untouched).
 	pageHome []int
@@ -109,6 +116,10 @@ type Txn struct {
 	// data reply in the network; the transaction finishes when the data
 	// lands.
 	DoneEarly bool
+	// CT is the causal transaction id assigned at creation when tracing
+	// is enabled (0 otherwise). Messages and stall episodes on this
+	// transaction's chain reference it.
+	CT uint64
 }
 
 // Node is one processor node: CPU-side cache structures, the protocol
@@ -247,6 +258,7 @@ func (n *Node) newTxn(block uint64) *Txn {
 		panic(fmt.Sprintf("protocol: node %d duplicate txn for block %d", n.ID, block))
 	}
 	t := &Txn{Block: block}
+	t.CT = n.Env.Causal.BeginTxn(n.ID, block, n.now())
 	n.outstanding[block] = t
 	n.nOutstanding++
 	return t
@@ -260,6 +272,7 @@ func (n *Node) finishTxn(t *Txn) {
 	}
 	delete(n.outstanding, t.Block)
 	n.nOutstanding--
+	n.Env.Causal.EndTxn(t.CT, n.now())
 	if !t.Data.IsOpen() {
 		t.Data.Open()
 	}
@@ -267,6 +280,45 @@ func (n *Node) finishTxn(t *Txn) {
 		t.Done.Open()
 	}
 	n.checkDrain()
+}
+
+// ---- Causal-tracing brackets --------------------------------------------
+
+// waitStall brackets a gate wait with a causal stall span. Every
+// CPU-stall charge site goes through this (or parkStall), so the sum of
+// recorded stall-episode lengths equals the stats stall aggregate by
+// construction. tid is the transaction the CPU is stalled on when known.
+func (n *Node) waitStall(g *sim.Gate, tid uint64, class causal.StallClass, why string) uint64 {
+	c := n.Env.Causal
+	if c == nil {
+		return g.Wait(n.CPU, why)
+	}
+	sid := c.BeginStall(n.ID, tid, class, why, n.now())
+	w := g.Wait(n.CPU, why)
+	c.EndStall(sid, n.now())
+	return w
+}
+
+// parkStall brackets a raw CPU park with a causal stall span.
+func (n *Node) parkStall(tid uint64, class causal.StallClass, why string) uint64 {
+	c := n.Env.Causal
+	if c == nil {
+		return n.CPU.Park(why)
+	}
+	sid := c.BeginStall(n.ID, tid, class, why, n.now())
+	w := n.CPU.Park(why)
+	c.EndStall(sid, n.now())
+	return w
+}
+
+// ppAcquire charges the protocol processor and records a causal service
+// span of the given kind covering both the queueing and the occupancy.
+// It returns the completion time, like PP.Acquire's second result.
+func (n *Node) ppAcquire(kind causal.Kind, block uint64, cost uint64) uint64 {
+	req := n.now()
+	start, end := n.PP.Acquire(req, cost)
+	n.Env.Causal.Service(kind, n.ID, block, req, start, end)
+	return end
 }
 
 // ---- Release draining --------------------------------------------------
@@ -294,7 +346,7 @@ func (n *Node) waitDrained() {
 		return
 	}
 	n.releaseParked = true
-	n.PS.SyncStall += n.CPU.Park("release drain")
+	n.PS.SyncStall += n.parkStall(n.Env.Causal.Current(), causal.StallSync, "release drain")
 }
 
 // wbRetired wakes a CPU stalled on a full write buffer.
@@ -310,7 +362,7 @@ func (n *Node) wbRetired() {
 // charging WriteStall.
 func (n *Node) stallWBFull() {
 	n.wbParked = true
-	n.PS.WriteStall += n.CPU.Park("write buffer slot")
+	n.PS.WriteStall += n.parkStall(0, causal.StallWrite, "write buffer slot")
 }
 
 // ---- Cache fills and evictions -----------------------------------------
@@ -330,7 +382,9 @@ func (n *Node) fillLine(block uint64, st cache.LineState, vals []uint64, fn func
 		n.Env.Mem.Fill(n.ID, block, vals)
 	}
 	n.Env.Class.Fill(n.ID, block, n.wordsPerLine())
-	_, end := n.Bus.Acquire(n.now(), n.busCycles(n.lineBytes()))
+	req := n.now()
+	start, end := n.Bus.Acquire(req, n.busCycles(n.lineBytes()))
+	n.Env.Causal.Service(causal.KindBus, n.ID, block, req, start, end)
 	n.Env.Eng.At(end, fn)
 }
 
@@ -483,8 +537,7 @@ func (n *Node) processPendInv() sim.Time {
 	if work == 0 {
 		return n.now()
 	}
-	_, end := n.PP.Acquire(n.now(), uint64(work)*n.noticeCost())
-	return end
+	return n.ppAcquire(causal.KindNotice, 0, uint64(work)*n.noticeCost())
 }
 
 // ---- Delayed notices (lazier protocol) ----------------------------------

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
 	"lazyrc/internal/mesh"
 )
 
@@ -44,7 +45,7 @@ func (*SC) CPUWrite(n *Node, block uint64, word int) {
 			return
 		}
 		if t := n.txn(block); t != nil {
-			n.PS.WriteStall += t.Done.Wait(n.CPU, "write completion")
+			n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "write completion")
 			if n.WB.Find(block) == nil {
 				return // the grant handler committed the buffered store
 			}
@@ -63,7 +64,7 @@ func (*SC) CPUWrite(n *Node, block uint64, word int) {
 			t.ExpectData = true
 		}
 		n.send(n.homeOf(block), MsgWriteReq, block, 0, arg, 0)
-		n.PS.WriteStall += t.Done.Wait(n.CPU, "write completion")
+		n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "write completion")
 		if n.WB.Find(block) == nil {
 			return
 		}

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"lazyrc/internal/causal"
 	"lazyrc/internal/mesh"
 	"lazyrc/internal/sim"
 )
@@ -87,18 +88,22 @@ func (s *syncNode) flag(id uint64) *flagState {
 // LockAcquire performs an acquire on the lock with the given home and id.
 func (n *Node) LockAcquire(home int, id uint64) {
 	n.observe("acquire", 0, id, -1)
+	st := n.Env.Causal.BeginSync(n.ID, id, "lock-acquire", n.now())
 	n.Proto.AcquireBegin(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
 	n.send(home, MsgLockReq, 0, 0, 0, id)
-	n.PS.SyncStall += g.Wait(n.CPU, fmt.Sprintf("lock %d grant", id))
+	n.PS.SyncStall += n.waitStall(g, st, causal.StallSync, fmt.Sprintf("lock %d grant", id))
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // LockRelease performs a release on the lock.
 func (n *Node) LockRelease(home int, id uint64) {
 	n.observe("release", 0, id, -1)
+	st := n.Env.Causal.BeginSync(n.ID, id, "lock-release", n.now())
 	n.Proto.Release(n)
 	n.send(home, MsgLockFree, 0, 0, 0, id)
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // BarrierWait joins a barrier of the given party count: arrival has
@@ -106,28 +111,34 @@ func (n *Node) LockRelease(home int, id uint64) {
 func (n *Node) BarrierWait(home int, id uint64, parties int) {
 	n.observe("release", 0, id, -1)
 	n.observe("acquire", 0, id, -1)
+	st := n.Env.Causal.BeginSync(n.ID, id, "barrier", n.now())
 	n.Proto.Release(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
 	n.send(home, MsgBarArrive, 0, 0, uint64(parties), id)
-	n.PS.SyncStall += g.Wait(n.CPU, fmt.Sprintf("barrier %d", id))
+	n.PS.SyncStall += n.waitStall(g, st, causal.StallSync, fmt.Sprintf("barrier %d", id))
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // FlagSet sets a one-shot flag (release semantics), waking all waiters.
 func (n *Node) FlagSet(home int, id uint64) {
 	n.observe("release", 0, id, -1)
+	st := n.Env.Causal.BeginSync(n.ID, id, "flag-set", n.now())
 	n.Proto.Release(n)
 	n.send(home, MsgFlagSet, 0, 0, 0, id)
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // FlagWait blocks until the flag has been set (acquire semantics).
 func (n *Node) FlagWait(home int, id uint64) {
 	n.observe("acquire", 0, id, -1)
+	st := n.Env.Causal.BeginSync(n.ID, id, "flag-wait", n.now())
 	n.Proto.AcquireBegin(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
 	n.send(home, MsgFlagWait, 0, 0, 0, id)
-	n.PS.SyncStall += g.Wait(n.CPU, fmt.Sprintf("flag %d", id))
+	n.PS.SyncStall += n.waitStall(g, st, causal.StallSync, fmt.Sprintf("flag %d", id))
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // Fence forces the protocol processor to process pending invalidations
@@ -138,9 +149,11 @@ func (n *Node) FlagWait(home int, id uint64) {
 // Under the eager protocols it is a no-op. It returns when the local
 // invalidation work has finished.
 func (n *Node) Fence() {
+	st := n.Env.Causal.BeginSync(n.ID, 0, "fence", n.now())
 	g := &sim.Gate{}
 	n.Proto.AcquireEnd(n, func() { g.Open() })
-	n.PS.SyncStall += g.Wait(n.CPU, "fence")
+	n.PS.SyncStall += n.waitStall(g, st, causal.StallSync, "fence")
+	n.Env.Causal.EndSync(st, n.now())
 }
 
 // ---- Message handling -----------------------------------------------------
@@ -148,7 +161,7 @@ func (n *Node) Fence() {
 // deliverSync handles synchronization traffic at this node (home side for
 // requests, requester side for grants).
 func (n *Node) deliverSync(m mesh.Msg) {
-	_, end := n.PP.Acquire(n.now(), n.noticeCost())
+	end := n.ppAcquire(causal.KindDir, 0, n.noticeCost())
 	n.Env.Eng.At(end, func() { n.handleSync(m) })
 }
 
@@ -185,7 +198,7 @@ func (n *Node) handleSync(m mesh.Msg) {
 		if b.arrived == parties {
 			// Dispatch the releases; the protocol processor pays per
 			// participant.
-			_, end := n.PP.Acquire(n.now(), uint64(parties)*n.noticeCost())
+			end := n.ppAcquire(causal.KindFanout, 0, uint64(parties)*n.noticeCost())
 			waiting := b.waiting
 			b.arrived = 0
 			b.waiting = nil

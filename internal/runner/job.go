@@ -27,7 +27,9 @@ import (
 // result schema) to invalidate stale caches wholesale.
 // v2: results grew the telemetry metrics digest; cached v1 results lack
 // it and must be recomputed.
-const fingerprintVersion = "lazyrc-job-v2"
+// v3: results grew the causal span count and digest; cached v2 results
+// lack them and must be recomputed.
+const fingerprintVersion = "lazyrc-job-v3"
 
 // Job is one simulation to run: an application at a scale, a protocol,
 // and a fully materialized machine configuration. Two jobs with the same

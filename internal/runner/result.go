@@ -39,6 +39,17 @@ type Result struct {
 	// catch shape drift that end-of-run totals would miss.
 	MetricsDigest string `json:"metrics_digest,omitempty"`
 
+	// Spans counts the causal spans the run's coherence and
+	// synchronization activity produced; SpanDigest is their stream
+	// fingerprint (causal.Tracer.Digest, "<count>-<hash>"). Spans are
+	// recorded in digest-only mode — the runner wants the determinism
+	// fingerprint, not the store — and, like the metrics digest, the
+	// value is identical across worker counts and machines, so the
+	// regression gate compares it to catch protocol-behaviour drift
+	// that leaves end-of-run totals untouched.
+	Spans      uint64 `json:"spans,omitempty"`
+	SpanDigest string `json:"span_digest,omitempty"`
+
 	// VerifyErr records a deterministic numerical-verification failure.
 	// Such results are still cacheable: the same job always fails the
 	// same way.
@@ -86,7 +97,7 @@ var simulate = func(j Job, res *Result) error {
 	if err := j.Cfg.Validate(); err != nil {
 		return err
 	}
-	m, reg, verr := apps.RunInstrumented(j.Cfg, j.Proto, app, metricsInterval)
+	m, reg, verr := apps.RunTraced(j.Cfg, j.Proto, app, metricsInterval)
 	if verr != nil {
 		res.VerifyErr = verr.Error()
 	}
@@ -98,6 +109,8 @@ var simulate = func(j Job, res *Result) error {
 		res.MissShares = m.Stats.MissShares()
 		res.Msgs, res.Bytes = m.Net.Stats()
 		res.MetricsDigest = reg.Digest()
+		res.Spans = m.Causal.Count()
+		res.SpanDigest = m.Causal.Digest()
 	}
 	return nil
 }

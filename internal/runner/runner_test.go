@@ -190,3 +190,36 @@ func TestMetricsDigestIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestSpanDigestIdenticalAcrossWorkerCounts pins the causal-tracing half
+// of the -j guarantee: every result carries a span-stream digest — a
+// fingerprint of every coherence transaction, stall episode, and message
+// flight the run produced — identical between a serial and an 8-worker
+// batch, and stable across repeated seeded runs of the same job.
+func TestSpanDigestIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	jobs := []Job{
+		tinyJob("gauss", "sc"), tinyJob("gauss", "lrc"),
+		tinyJob("fft", "lrc"), tinyJob("mp3d", "erc"),
+	}
+	serial := New(1, nil).DoAll(jobs)
+	parallel := New(8, nil).DoAll(jobs)
+	rerun := New(1, nil).DoAll(jobs)
+	for i := range jobs {
+		s, p, r := serial[i], parallel[i], rerun[i]
+		if s.SpanDigest == "" || s.Spans == 0 {
+			t.Fatalf("%s/%s: no span digest attached (%d spans, %q)",
+				s.App, s.Proto, s.Spans, s.SpanDigest)
+		}
+		if s.SpanDigest != p.SpanDigest {
+			t.Fatalf("%s/%s: span digest differs between -j1 and -j8: %s vs %s",
+				s.App, s.Proto, s.SpanDigest, p.SpanDigest)
+		}
+		if s.SpanDigest != r.SpanDigest {
+			t.Fatalf("%s/%s: span digest differs across repeated seeded runs: %s vs %s",
+				s.App, s.Proto, s.SpanDigest, r.SpanDigest)
+		}
+	}
+}

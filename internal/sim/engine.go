@@ -72,7 +72,28 @@ type Engine struct {
 
 	chooser Chooser // nil: deterministic seq-order tie-break
 	tied    []event // scratch for same-instant choice enumeration
+
+	tracer TaskTracer // nil: no causal-context propagation
 }
+
+// TaskTracer threads a causal context (a transaction id) through event
+// chains. When one is attached, every callback scheduled via At/After/
+// Background captures the context current at scheduling time and runs
+// with it restored — so a home-side continuation, and any message it
+// sends, inherit the transaction identity of the request that scheduled
+// it without the protocol code threading ids by hand. The tracer is
+// purely observational: it must not schedule events or touch simulated
+// state, so attaching one leaves the cycle-accurate schedule unchanged.
+type TaskTracer interface {
+	// Capture returns the context current at scheduling time.
+	Capture() uint64
+	// Restore installs ctx and returns the previously current context.
+	Restore(ctx uint64) uint64
+}
+
+// SetTaskTracer attaches (or, with nil, detaches) a causal-context
+// tracer. Attach before Run.
+func (e *Engine) SetTaskTracer(t TaskTracer) { e.tracer = t }
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
@@ -96,7 +117,24 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.events.pushEv(event{at: t, seq: e.seq, fn: fn})
+	e.events.pushEv(event{at: t, seq: e.seq, fn: e.wrap(fn)})
+}
+
+// wrap closes fn over the causal context current at scheduling time so
+// the callback (and everything it schedules in turn) runs under it. The
+// previous context is restored afterwards, which keeps nesting correct
+// when an event hands control to a coroutine that itself runs nested
+// events before yielding back.
+func (e *Engine) wrap(fn func()) func() {
+	if e.tracer == nil {
+		return fn
+	}
+	ctx := e.tracer.Capture()
+	return func() {
+		prev := e.tracer.Restore(ctx)
+		fn()
+		e.tracer.Restore(prev)
+	}
 }
 
 // After schedules fn to run d cycles from now.
@@ -113,7 +151,7 @@ func (e *Engine) Background(t Time, fn func()) {
 	}
 	e.seq++
 	e.nbg++
-	e.events.pushEv(event{at: t, seq: e.seq, fn: fn, bg: true})
+	e.events.pushEv(event{at: t, seq: e.seq, fn: e.wrap(fn), bg: true})
 }
 
 // Pending returns the number of events currently queued.
