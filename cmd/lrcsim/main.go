@@ -26,6 +26,7 @@ import (
 	"text/tabwriter"
 
 	"lazyrc"
+	"lazyrc/internal/apps"
 	"lazyrc/internal/causal"
 	"lazyrc/internal/check"
 	"lazyrc/internal/machine"
@@ -52,6 +53,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed for seed-dependent subsystems (fault injection); the same seed replays the same schedule")
 		faultPlan  = flag.String("faults", "", "fault-injection plan for the interconnect, e.g. 'delay=0.05:1:64,dup=0.03:32,reorder=0.02:48' (see internal/faults.ParsePlan)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "seed the fault injector independently of -seed (0: derive from -seed)")
+		oracle     = flag.Bool("oracle", false, "with -faults: also run the same seed fault-free and require the faulted run to reproduce its end state (completion, and bit-identical final memory for timing-independent apps); exit nonzero on divergence")
 		doCheck    = flag.Bool("check", false, "audit protocol invariants during and after the run; exit nonzero on any violation")
 		checkEvery = flag.Uint64("check-every", 5000, "cycles between invariant audits under -check")
 		watchdog   = flag.Uint64("watchdog", 0, "liveness watchdog probe interval in cycles (0: disabled); a stall aborts the run with a report; pick an interval far above the longest legitimate wait (e.g. 50000)")
@@ -201,8 +203,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "check: %d epoch audits + final audit, 0 violations\n", auditor.Epochs())
 	}
-	if s := m.Net.FaultSummary(); s != "" {
+	if s := m.FaultReport(); s != "" {
 		fmt.Fprintln(os.Stderr, s)
+	}
+	if *oracle {
+		if *faultPlan == "" {
+			log.Fatal("-oracle requires -faults")
+		}
+		runOracle(cfg, *proto, *appName, sc, m)
 	}
 	if tr != nil {
 		if terr := tr.Err(); terr != nil {
@@ -275,6 +283,41 @@ func main() {
 		fmt.Printf("top %d stall episodes\n", *critPath)
 		a.WriteTop(os.Stdout, *critPath)
 	}
+}
+
+// runOracle re-runs the same application, seed, and protocol with fault
+// injection off and compares end states: the faulted run must have
+// completed like the reference, and — for workloads whose result is
+// independent of processor interleaving — produced a bit-identical
+// final memory image. A divergence means a fault leaked through the
+// reliable transport into application state.
+func runOracle(cfg lazyrc.Config, proto, appName string, sc lazyrc.Scale, faulted *lazyrc.Machine) {
+	ref, err := lazyrc.NewApp(appName, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.FaultPlan = ""
+	rm, err := lazyrc.RunApp(cfg, proto, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verr := ref.Verify(); verr != nil {
+		log.Fatalf("oracle: fault-free reference failed verification: %v", verr)
+	}
+	if !rm.Completed() {
+		log.Fatal("oracle: fault-free reference did not complete")
+	}
+	if !faulted.Completed() {
+		log.Fatal("oracle: faulted run did not complete; reference did")
+	}
+	if !apps.TimingDependent(appName) {
+		if fd, rd := faulted.MemDigest(), rm.MemDigest(); fd != rd {
+			log.Fatalf("oracle: final memory diverged: faulted %s, fault-free %s", fd, rd)
+		}
+		fmt.Fprintln(os.Stderr, "oracle: end state matches the fault-free run (completion + bit-identical memory)")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "oracle: end state matches the fault-free run (completion; %s folds timing into its result, memory not compared)\n", appName)
 }
 
 // replay re-executes a recorded counterexample schedule and reports

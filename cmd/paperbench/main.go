@@ -19,7 +19,9 @@
 //	           [-baseline BENCH_baseline.json -tol 0] [targets...]
 //
 // Targets: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 sweep
-// mp3dquality all (default: all); extensions: ablate, scaling, dsm.
+// mp3dquality all (default: all); extensions: ablate, scaling, dsm,
+// chaos (the lossy-interconnect soak: every app × protocol under message
+// loss and link outages, gated on the end-state equivalence oracle).
 package main
 
 import (
@@ -151,11 +153,24 @@ func main() {
 			emit("scaling", exp.RunScaling(rn, scale, app, exp.ScalingCounts))
 		}
 	}
+	chaosFailed := false
+	if want["chaos"] {
+		body, err := exp.RunChaos(rn, scale, *procs, *seed, exp.AppOrder,
+			[]string{"sc", "erc", "lrc", "lrc-ext"}, nil)
+		emit("chaos", body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			chaosFailed = true
+		}
+	}
 	if *critPath {
 		emit("critical-path", exp.CriticalPath(scale, *procs, *seed, nil))
 	}
 
 	exitCode := 0
+	if chaosFailed {
+		exitCode = 1
+	}
 	if err := e.VerifyAll(); err != nil {
 		fmt.Fprintf(os.Stderr, "paperbench: a run failed verification: %v\n", err)
 		exitCode = 1

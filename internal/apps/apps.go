@@ -104,6 +104,24 @@ func New(name string, scale Scale) (App, error) {
 	return f(scale), nil
 }
 
+// TimingDependent reports whether the workload's final memory image
+// depends on the interleaving of its processors. The three
+// lock-structured workloads fold acquisition order into their results —
+// barnes-hut's tree shape follows body insertion order, locusroute
+// commits whichever route won the cost-array race, mp3d's reservoir
+// collisions depend on cell-lock order — so two runs that differ only
+// in message timing produce different, equally valid images (each still
+// passes Verify). The barrier-structured solvers compute the same bits
+// under any timing, which makes them exact end-state oracles for fault
+// injection: a faulted run must reproduce the fault-free image.
+func TimingDependent(name string) bool {
+	switch name {
+	case "barnes-hut", "locusroute", "mp3d":
+		return true
+	}
+	return false
+}
+
 // Names lists the workloads in the paper's table order.
 func Names() []string {
 	names := make([]string, 0, len(registry))

@@ -49,6 +49,14 @@ func RunInstrumented(cfg config.Config, protoName string, app App, interval uint
 // bounded for runner sweeps. Both instruments are passive, so the
 // simulated run is still identical to Run's.
 func RunTraced(cfg config.Config, protoName string, app App, interval uint64) (*machine.Machine, *telemetry.Registry, error) {
+	return RunTracedWith(cfg, protoName, app, interval, nil)
+}
+
+// RunTracedWith is RunTraced with a pre-run hook called after the machine
+// is fully instrumented but before the workload starts — the attachment
+// point for guards (invariant auditor, liveness watchdog) that need the
+// built machine. A nil preRun is RunTraced exactly.
+func RunTracedWith(cfg config.Config, protoName string, app App, interval uint64, preRun func(*machine.Machine)) (*machine.Machine, *telemetry.Registry, error) {
 	m, err := machine.New(cfg, protoName)
 	if err != nil {
 		return nil, nil, fmt.Errorf("apps: %w", err)
@@ -56,6 +64,9 @@ func RunTraced(cfg config.Config, protoName string, app App, interval uint64) (*
 	reg := m.EnableMetrics(interval)
 	reg.SetMeta("app", app.Name())
 	m.EnableSpans(false, 0)
+	if preRun != nil {
+		preRun(m)
+	}
 	app.Setup(m)
 	m.Run(app.Worker)
 	if err := app.Verify(); err != nil {

@@ -54,12 +54,16 @@ const (
 	// KindAck is home-side acknowledgement collection work (one
 	// protocol-processor occupancy per arriving ack).
 	KindAck
+	// KindRetx is a reliable-transport retransmission wait: the interval
+	// from a (lost) send attempt to the timeout that resent it. Wait
+	// carries the attempt number (backoff depth).
+	KindRetx
 
 	numKinds
 )
 
 var kindNames = [...]string{
-	"txn", "sync", "stall", "net", "dir", "mem", "bus", "fanout", "notice", "ack",
+	"txn", "sync", "stall", "net", "dir", "mem", "bus", "fanout", "notice", "ack", "retx",
 }
 
 // String returns the span-kind mnemonic.
@@ -424,6 +428,63 @@ func (t *Tracer) Net(tid uint64, src, dst, msgKind int, block uint64, begin, end
 		MsgKind: int32(msgKind), Block: block, Begin: begin, End: end,
 		Wait: outWait, Wait2: inWait,
 	})
+}
+
+// Retransmit records one reliable-transport retransmission wait: the
+// message from src to dst was sent (or resent) at lastSend, presumed
+// lost, and resent at now — the attempt-th retransmission. tid is the
+// causal context stamped on the message, so the lost time lands on the
+// transaction that was waiting for it and the critical-path analyzer can
+// attribute loss-induced stalls (CauseRetx).
+func (t *Tracer) Retransmit(tid uint64, src, dst, msgKind int, block uint64, lastSend, now uint64, attempt int) {
+	if t == nil {
+		return
+	}
+	t.record(Span{
+		TID: tid, Kind: KindRetx, Node: int32(src), Peer: int32(dst),
+		MsgKind: int32(msgKind), Block: block, Begin: lastSend, End: now,
+		Wait: uint64(attempt), Why: "retx",
+	})
+}
+
+// OpenStall describes one currently-open stall span — what a processor is
+// parked on right now, for watchdog reports.
+type OpenStall struct {
+	Node  int
+	TID   uint64
+	Class StallClass
+	Why   string
+	Begin uint64
+}
+
+// OpenStalls returns the currently-open stall episodes, ordered by begin
+// cycle then node (deterministic). Works in both retain and digest-only
+// modes.
+func (t *Tracer) OpenStalls() []OpenStall {
+	if t == nil {
+		return nil
+	}
+	var out []OpenStall
+	add := func(s *Span) {
+		if s.Kind == KindStall {
+			out = append(out, OpenStall{
+				Node: int(s.Node), TID: s.TID, Class: s.Class, Why: s.Why, Begin: s.Begin,
+			})
+		}
+	}
+	for _, idx := range t.open {
+		add(&t.spans[idx])
+	}
+	for _, sp := range t.pending {
+		add(sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }
 
 // Service records one home- or remote-side hardware service interval —

@@ -37,6 +37,10 @@ const (
 	// CauseNetPort: a message on the chain was queued at a NIC port
 	// (port contention).
 	CauseNetPort
+	// CauseRetx: a message on the chain was lost and the transport was
+	// waiting out a retransmission timeout — the loss-induced stall time
+	// the chaos harness wants attributed.
+	CauseRetx
 	// CauseWBDrain: the processor was waiting for its own write buffer to
 	// drain (release semantics or a full coalescing buffer) with no
 	// single covering transaction.
@@ -54,7 +58,7 @@ const (
 
 var causeNames = [...]string{
 	"bus", "mem", "dir-service", "fanout", "notice-proc", "ack",
-	"dir-queue", "net", "net-port", "wb-drain", "serialization", "other",
+	"dir-queue", "net", "net-port", "retx-wait", "wb-drain", "serialization", "other",
 }
 
 // String returns the cause mnemonic used in attribution tables.
@@ -212,6 +216,10 @@ var causePrio = [NumCauses]int{
 	CauseDirQueue:   6,
 	CauseNet:        7,
 	CauseNetPort:    8,
+	// A retransmission wait is pure lost time: any real work or queueing
+	// overlapping it should win the cycle, so it ranks below everything
+	// that names an active resource.
+	CauseRetx: 9,
 	// Fallback causes never appear as candidates.
 	CauseWBDrain:       90,
 	CauseSerialization: 91,
@@ -252,6 +260,8 @@ func spanCandidates(s *Span, out []candidate, order int) []candidate {
 		out = add(s.Begin, s.Begin+s.Wait, CauseNetPort)
 		out = add(s.Begin+s.Wait, s.End-s.Wait2, CauseNet)
 		out = add(s.End-s.Wait2, s.End, CauseNetPort)
+	case KindRetx:
+		out = add(s.Begin, s.End, CauseRetx)
 	}
 	return out
 }

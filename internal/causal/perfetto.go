@@ -165,6 +165,23 @@ func WritePerfetto(w io.Writer, t *Tracer, msgKindName func(int) string) error {
 				emit(traceEvent{Name: name, Cat: "flow", Ph: "f", BP: "e",
 					Ts: s.End, Pid: int64(s.Peer), Tid: laneCPU, ID: id})
 
+			case KindRetx:
+				// Retransmission wait: the whole window is lost time (Wait
+				// carries the attempt number, not queueing).
+				meta(pid, laneCPU)
+				dur := s.Dur()
+				args := map[string]interface{}{
+					"tid": s.TID, "dst": s.Peer, "attempt": s.Wait,
+				}
+				if s.Block != 0 {
+					args["block"] = fmt.Sprintf("%#x", s.Block)
+				}
+				emit(traceEvent{
+					Name: fmt.Sprintf("retx %s", kindLabel(int(s.MsgKind))),
+					Cat:  "retx", Ph: "X", Ts: s.Begin, Dur: &dur,
+					Pid: pid, Tid: laneCPU, Args: args,
+				})
+
 			default:
 				// Service occupancy: draw the service window only.
 				lane := int64(lanePP)

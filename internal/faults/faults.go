@@ -1,9 +1,16 @@
 // Package faults provides deterministic, seed-replayable fault injection
 // for the simulated interconnect. A Plan describes, per message kind, the
 // probability and magnitude of injected extra delay (in-flight jitter),
-// duplication, and reordering, plus a drop mode that is only legal for
-// message kinds with an end-to-end retry; an Injector draws from a seeded
-// SplitMix64 stream to turn the plan into concrete Fault decisions.
+// duplication, reordering, and loss, plus scheduled link-outage windows
+// and per-node receive brownouts; an Injector draws from a seeded
+// SplitMix64 stream to turn the per-message rules into concrete Fault
+// decisions.
+//
+// Loss is only survivable when an end-to-end retry exists. The mesh's
+// reliable-delivery transport (mesh/transport.go) retries every message
+// kind, so a plan attached through it may drop anything; validating a
+// plan in an environment without such a transport (retryable == nil)
+// still rejects drops.
 //
 // Determinism: the injector consumes its random stream in Decide-call
 // order, and Decide is called from the (single-threaded, deterministic)
@@ -20,6 +27,41 @@ import (
 	"strings"
 )
 
+// kindNamer and kindParser map protocol message kinds to and from their
+// mnemonics in plan text and error messages. The protocol package
+// registers them at init; the indirection keeps this package free of a
+// protocol dependency (protocol imports mesh imports faults).
+var (
+	kindNamer  func(int) string
+	kindParser func(string) (int, bool)
+)
+
+// RegisterKindNames installs the message-kind naming functions: name
+// renders a kind for error messages and Plan.String, parse resolves a
+// mnemonic in plan text back to its kind. Either may be nil to leave the
+// raw-integer behaviour.
+func RegisterKindNames(name func(int) string, parse func(string) (int, bool)) {
+	kindNamer, kindParser = name, parse
+}
+
+// KindName renders a message kind with the registered namer, falling back
+// to the raw integer.
+func KindName(k int) string {
+	if kindNamer != nil {
+		return kindNamer(k)
+	}
+	return strconv.Itoa(k)
+}
+
+// kindLabel renders a message kind for error messages: "WriteReq(2)" when
+// a namer is registered, "2" otherwise.
+func kindLabel(k int) string {
+	if kindNamer != nil {
+		return fmt.Sprintf("%s(%d)", kindNamer(k), k)
+	}
+	return strconv.Itoa(k)
+}
+
 // Rule gives the injection probabilities and magnitudes for one message
 // kind (or for all kinds, as Plan.Default). All probabilities are in
 // [0, 1]; all magnitudes are in simulated cycles.
@@ -32,9 +74,9 @@ type Rule struct {
 
 	// DupProb is the chance the message is delivered twice; the duplicate
 	// re-enters the network up to DupDelayMax cycles after the original.
-	// Receivers deduplicate by transaction id, so duplication perturbs
-	// timing and resource occupancy without double-applying protocol
-	// actions.
+	// Receivers deduplicate by delivery sequence number, so duplication
+	// perturbs timing and resource occupancy without double-applying
+	// protocol actions.
 	DupProb     float64
 	DupDelayMax uint64
 
@@ -48,10 +90,10 @@ type Rule struct {
 	ReorderMax  uint64
 
 	// DropProb is the chance the message is silently discarded. Dropping
-	// is only legal for message kinds registered as retryable with the
-	// network (there are none in the base protocols, which — like the
-	// hardware they model — assume a reliable fabric); attaching a plan
-	// that drops a non-retryable kind is a configuration error.
+	// requires an end-to-end retry; the mesh's reliable-delivery
+	// transport provides one for every kind, so any plan it validates may
+	// drop anything. Validating with retryable == nil (no transport)
+	// rejects drops.
 	DropProb float64
 }
 
@@ -72,21 +114,65 @@ func (r Rule) validate() error {
 	return nil
 }
 
+// Outage is a scheduled link failure: the undirected mesh link between
+// adjacent nodes A and B is down for [From, From+Len) simulated cycles.
+// Every message whose XY route crosses the link during the window is
+// lost on the wire (and recovered by the transport's retransmission).
+type Outage struct {
+	A, B      int
+	From, Len uint64
+}
+
+// Covers reports whether the outage is in effect at simulated time now.
+func (o Outage) Covers(now uint64) bool {
+	return now >= o.From && now < o.From+o.Len
+}
+
+// String renders the outage in plan-clause form.
+func (o Outage) String() string {
+	return fmt.Sprintf("down=%d-%d:%d:%d", o.A, o.B, o.From, o.Len)
+}
+
+// Brownout is a scheduled receive failure: node Node drops every message
+// arriving during [From, From+Len) simulated cycles — the NIC is alive
+// enough to sink the bits but nothing reaches the protocol. Lost
+// messages are recovered by the transport's retransmission.
+type Brownout struct {
+	Node      int
+	From, Len uint64
+}
+
+// Covers reports whether the brownout is in effect at simulated time now.
+func (b Brownout) Covers(now uint64) bool {
+	return now >= b.From && now < b.From+b.Len
+}
+
+// String renders the brownout in plan-clause form.
+func (b Brownout) String() string {
+	return fmt.Sprintf("brown=%d:%d:%d", b.Node, b.From, b.Len)
+}
+
 // Plan is a complete fault-injection schedule description: a default rule,
-// per-message-kind overrides, and an optional active window in simulated
-// time.
+// per-message-kind overrides, scheduled link outages and node brownouts,
+// and an optional active window in simulated time.
 type Plan struct {
 	Default Rule
 	ByKind  map[int]Rule
 
-	// From and Until bound the window of simulated time in which faults
-	// are injected; Until == 0 means unbounded.
+	// Outages and Brownouts are scheduled deterministic failures,
+	// independent of the probabilistic rules and of the From/Until
+	// window (each carries its own window).
+	Outages   []Outage
+	Brownouts []Brownout
+
+	// From and Until bound the window of simulated time in which the
+	// probabilistic rules inject; Until == 0 means unbounded.
 	From, Until uint64
 }
 
 // Empty reports whether the plan injects nothing anywhere.
 func (p Plan) Empty() bool {
-	if !p.Default.Zero() {
+	if !p.Default.Zero() || len(p.Outages) > 0 || len(p.Brownouts) > 0 {
 		return false
 	}
 	for _, r := range p.ByKind {
@@ -105,20 +191,45 @@ func (p Plan) RuleFor(kind int) Rule {
 	return p.Default
 }
 
-// Active reports whether the plan injects at simulated time now.
+// Active reports whether the plan's probabilistic rules inject at
+// simulated time now.
 func (p Plan) Active(now uint64) bool {
 	return now >= p.From && (p.Until == 0 || now < p.Until)
 }
 
-// Validate checks probabilities and windows, and — given the set of
-// retryable message kinds — rejects drop rules on kinds whose loss the
-// protocols cannot recover from.
+// LinkDown reports whether the undirected link between adjacent nodes a
+// and b is inside an outage window at simulated time now.
+func (p Plan) LinkDown(a, b int, now uint64) bool {
+	for _, o := range p.Outages {
+		if ((o.A == a && o.B == b) || (o.A == b && o.B == a)) && o.Covers(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeBrowned reports whether node is inside a receive-brownout window at
+// simulated time now.
+func (p Plan) NodeBrowned(node int, now uint64) bool {
+	for _, b := range p.Brownouts {
+		if b.Node == node && b.Covers(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks probabilities, windows, and outage schedules, and —
+// given the set of retryable message kinds — rejects drop rules, outages,
+// and brownouts in environments where no end-to-end retry could recover
+// the loss (retryable == nil). The mesh validates with every kind
+// retryable: its transport retries everything.
 func (p Plan) Validate(retryable func(kind int) bool) error {
 	if err := p.Default.validate(); err != nil {
 		return err
 	}
-	if p.Default.DropProb > 0 {
-		return fmt.Errorf("faults: default rule drops messages; drops must name a retryable kind explicitly")
+	if p.Default.DropProb > 0 && retryable == nil {
+		return fmt.Errorf("faults: default rule drops messages but no end-to-end retry exists")
 	}
 	kinds := make([]int, 0, len(p.ByKind))
 	for k := range p.ByKind {
@@ -128,22 +239,106 @@ func (p Plan) Validate(retryable func(kind int) bool) error {
 	for _, k := range kinds {
 		r := p.ByKind[k]
 		if err := r.validate(); err != nil {
-			return fmt.Errorf("faults: kind %d: %w", k, err)
+			return fmt.Errorf("faults: kind %s: %w", kindLabel(k), err)
 		}
 		if r.DropProb > 0 && (retryable == nil || !retryable(k)) {
-			return fmt.Errorf("faults: kind %d has drop probability %v but no retry exists for it", k, r.DropProb)
+			return fmt.Errorf("faults: kind %s has drop probability %v but no retry exists for it", kindLabel(k), r.DropProb)
+		}
+	}
+	for _, o := range p.Outages {
+		if o.A < 0 || o.B < 0 || o.A == o.B {
+			return fmt.Errorf("faults: outage %s does not name two distinct nodes", o)
+		}
+		if o.Len == 0 {
+			return fmt.Errorf("faults: outage %s has a zero-length window", o)
+		}
+		if retryable == nil {
+			return fmt.Errorf("faults: outage %s loses messages but no end-to-end retry exists", o)
+		}
+	}
+	for _, b := range p.Brownouts {
+		if b.Node < 0 {
+			return fmt.Errorf("faults: brownout %s names a negative node", b)
+		}
+		if b.Len == 0 {
+			return fmt.Errorf("faults: brownout %s has a zero-length window", b)
+		}
+		if retryable == nil {
+			return fmt.Errorf("faults: brownout %s loses messages but no end-to-end retry exists", b)
 		}
 	}
 	return nil
+}
+
+// fmtProb renders a probability in the shortest form that re-parses to
+// the identical float64.
+func fmtProb(p float64) string { return strconv.FormatFloat(p, 'g', -1, 64) }
+
+// appendRule renders one rule's settings as plan items.
+func appendRule(items []string, r Rule) []string {
+	if r.DelayProb > 0 {
+		items = append(items, fmt.Sprintf("delay=%s:%d:%d", fmtProb(r.DelayProb), r.DelayMin, r.DelayMax))
+	}
+	if r.DupProb > 0 {
+		items = append(items, fmt.Sprintf("dup=%s:%d", fmtProb(r.DupProb), r.DupDelayMax))
+	}
+	if r.ReorderProb > 0 {
+		items = append(items, fmt.Sprintf("reorder=%s:%d", fmtProb(r.ReorderProb), r.ReorderMax))
+	}
+	if r.DropProb > 0 {
+		items = append(items, fmt.Sprintf("drop=%s", fmtProb(r.DropProb)))
+	}
+	return items
+}
+
+// String renders the plan in the textual format ParsePlan accepts, so
+// ParsePlan(p.String()) reproduces p (kind overrides sorted by kind;
+// entirely zero overrides are omitted, as are zero magnitudes attached to
+// zero probabilities). Kind prefixes use registered mnemonics when
+// available, raw integers otherwise — ParsePlan accepts both.
+func (p Plan) String() string {
+	var items []string
+	items = appendRule(items, p.Default)
+	if p.From != 0 || p.Until != 0 {
+		items = append(items, fmt.Sprintf("window=%d:%d", p.From, p.Until))
+	}
+	for _, o := range p.Outages {
+		items = append(items, o.String())
+	}
+	for _, b := range p.Brownouts {
+		items = append(items, b.String())
+	}
+	clauses := []string{strings.Join(items, ",")}
+	if clauses[0] == "" {
+		clauses = clauses[:0]
+	}
+	kinds := make([]int, 0, len(p.ByKind))
+	for k := range p.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		r := p.ByKind[k]
+		if r.Zero() {
+			continue
+		}
+		prefix := strconv.Itoa(k)
+		if kindNamer != nil {
+			prefix = kindNamer(k)
+		}
+		clauses = append(clauses, prefix+":"+strings.Join(appendRule(nil, r), ","))
+	}
+	return strings.Join(clauses, ";")
 }
 
 // ParsePlan parses the textual plan format used by the FaultPlan
 // configuration knob and the -faults command-line flag.
 //
 // A plan is a semicolon-separated list of clauses. The first clause
-// without a "KIND:" prefix is the default rule; a clause prefixed with an
-// integer message kind (see protocol.MsgKind) overrides the default for
-// that kind. Each clause is a comma-separated list of settings:
+// without a "KIND:" prefix is the default rule; a clause prefixed with a
+// message kind — its mnemonic (see protocol.MsgName) or raw integer —
+// overrides the default for that kind. Each clause is a comma-separated
+// list of settings:
 //
 //	delay=P[:MIN:MAX]   extra in-flight latency with probability P,
 //	                    uniform in [MIN,MAX] cycles (default 1:64)
@@ -151,12 +346,19 @@ func (p Plan) Validate(retryable func(kind int) bool) error {
 //	                    re-sent within MAX cycles (default 32)
 //	reorder=P[:MAX]     hold before sending with probability P, up to MAX
 //	                    cycles (default 64); per-(src,dst) FIFO preserved
-//	drop=P              drop with probability P (retryable kinds only)
+//	drop=P              drop with probability P (the mesh transport
+//	                    retransmits until delivered)
 //	window=FROM:UNTIL   inject only within [FROM,UNTIL) simulated cycles
 //	                    (top level; UNTIL=0 means unbounded)
+//	down=A-B:FROM:LEN   the mesh link between adjacent nodes A and B is
+//	                    down for [FROM,FROM+LEN) cycles (top level;
+//	                    repeatable)
+//	brown=NODE:FROM:LEN node NODE drops everything it receives during
+//	                    [FROM,FROM+LEN) cycles (top level; repeatable)
 //
-// Example: "delay=0.1:1:64,dup=0.05:32;7:delay=0.5:1:16" adds jitter and
-// duplication to all traffic and heavier jitter to message kind 7.
+// Example: "drop=0.1,delay=0.05:1:64;down=0-1:20000:5000" drops a tenth
+// of all traffic, jitters some of the rest, and takes the 0–1 link down
+// for 5000 cycles.
 func ParsePlan(s string) (Plan, error) {
 	p := Plan{ByKind: map[int]Rule{}}
 	s = strings.TrimSpace(s)
@@ -167,20 +369,31 @@ func ParsePlan(s string) (Plan, error) {
 	for _, clause := range strings.Split(s, ";") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
-			continue
+			return Plan{}, fmt.Errorf("faults: empty clause (stray %q?)", ";")
 		}
 		kind := -1
-		if i := strings.Index(clause, ":"); i > 0 {
-			if k, err := strconv.Atoi(strings.TrimSpace(clause[:i])); err == nil {
+		if i := strings.Index(clause, ":"); i > 0 && !strings.Contains(clause[:i], "=") {
+			prefix := strings.TrimSpace(clause[:i])
+			if k, err := strconv.Atoi(prefix); err == nil {
 				kind = k
 				clause = clause[i+1:]
+			} else if kindParser != nil {
+				k, ok := kindParser(prefix)
+				if !ok {
+					return Plan{}, fmt.Errorf("faults: unknown message kind %q", prefix)
+				}
+				kind = k
+				clause = clause[i+1:]
+			} else {
+				return Plan{}, fmt.Errorf("faults: unknown message kind %q (no kind names registered)", prefix)
 			}
 		}
 		var r Rule
+		ruleItems := false // clause carries delay/dup/reorder/drop settings
 		for _, item := range strings.Split(clause, ",") {
 			item = strings.TrimSpace(item)
 			if item == "" {
-				continue
+				return Plan{}, fmt.Errorf("faults: empty setting in clause %q", clause)
 			}
 			key, val, ok := strings.Cut(item, "=")
 			if !ok {
@@ -205,6 +418,10 @@ func ParsePlan(s string) (Plan, error) {
 				return n, nil
 			}
 			var err error
+			switch key {
+			case "delay", "dup", "reorder", "drop":
+				ruleItems = true
+			}
 			switch key {
 			case "delay":
 				if r.DelayProb, err = prob(); err != nil {
@@ -236,7 +453,7 @@ func ParsePlan(s string) (Plan, error) {
 				}
 			case "window":
 				if kind >= 0 {
-					return Plan{}, fmt.Errorf("faults: window applies to the whole plan, not kind %d", kind)
+					return Plan{}, fmt.Errorf("faults: window applies to the whole plan, not kind %s", kindLabel(kind))
 				}
 				if len(args) != 2 {
 					return Plan{}, fmt.Errorf("faults: window wants FROM:UNTIL, got %q", val)
@@ -247,13 +464,60 @@ func ParsePlan(s string) (Plan, error) {
 				if p.Until, err = cyc(1, 0); err != nil {
 					return Plan{}, err
 				}
+			case "down":
+				if kind >= 0 {
+					return Plan{}, fmt.Errorf("faults: down applies to the whole plan, not kind %s", kindLabel(kind))
+				}
+				if len(args) != 3 {
+					return Plan{}, fmt.Errorf("faults: down wants A-B:FROM:LEN, got %q", val)
+				}
+				a, b, ok := strings.Cut(args[0], "-")
+				if !ok {
+					return Plan{}, fmt.Errorf("faults: down link %q wants A-B", args[0])
+				}
+				var o Outage
+				if o.A, err = strconv.Atoi(a); err != nil {
+					return Plan{}, fmt.Errorf("faults: down link node %q: %v", a, err)
+				}
+				if o.B, err = strconv.Atoi(b); err != nil {
+					return Plan{}, fmt.Errorf("faults: down link node %q: %v", b, err)
+				}
+				if o.From, err = cyc(1, 0); err != nil {
+					return Plan{}, err
+				}
+				if o.Len, err = cyc(2, 0); err != nil {
+					return Plan{}, err
+				}
+				p.Outages = append(p.Outages, o)
+			case "brown":
+				if kind >= 0 {
+					return Plan{}, fmt.Errorf("faults: brown applies to the whole plan, not kind %s", kindLabel(kind))
+				}
+				if len(args) != 3 {
+					return Plan{}, fmt.Errorf("faults: brown wants NODE:FROM:LEN, got %q", val)
+				}
+				var br Brownout
+				if br.Node, err = strconv.Atoi(args[0]); err != nil {
+					return Plan{}, fmt.Errorf("faults: brown node %q: %v", args[0], err)
+				}
+				if br.From, err = cyc(1, 0); err != nil {
+					return Plan{}, err
+				}
+				if br.Len, err = cyc(2, 0); err != nil {
+					return Plan{}, err
+				}
+				p.Brownouts = append(p.Brownouts, br)
 			default:
-				return Plan{}, fmt.Errorf("faults: unknown setting %q (want delay, dup, reorder, drop, or window)", key)
+				return Plan{}, fmt.Errorf("faults: unknown setting %q (want delay, dup, reorder, drop, window, down, or brown)", key)
 			}
 		}
-		if kind >= 0 {
+		switch {
+		case kind >= 0:
+			if _, dup := p.ByKind[kind]; dup {
+				return Plan{}, fmt.Errorf("faults: duplicate clause for kind %s", kindLabel(kind))
+			}
 			p.ByKind[kind] = r
-		} else {
+		case ruleItems:
 			if seenDefault {
 				return Plan{}, fmt.Errorf("faults: more than one default clause")
 			}
@@ -264,7 +528,21 @@ func ParsePlan(s string) (Plan, error) {
 	if err := p.Default.validate(); err != nil {
 		return Plan{}, err
 	}
+	for _, k := range sortedKinds(p.ByKind) {
+		if err := p.ByKind[k].validate(); err != nil {
+			return Plan{}, fmt.Errorf("faults: kind %s: %w", kindLabel(k), err)
+		}
+	}
 	return p, nil
+}
+
+func sortedKinds(m map[int]Rule) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 func maxU64(a, b uint64) uint64 {
@@ -283,7 +561,8 @@ type Fault struct {
 	// DupDelay cycles after the original.
 	Duplicate bool
 	DupDelay  uint64
-	// Drop discards the message (retryable kinds only).
+	// Drop discards the message; the transport's retransmission timer
+	// recovers it.
 	Drop bool
 }
 

@@ -1,6 +1,9 @@
 package faults
 
 import (
+	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -103,10 +106,134 @@ func TestParsePlanDefaults(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"delay=1.5", "delay", "frob=0.1", "delay=0.1:9:3", "7:window=1:2", "dup=x",
+		"drop=0.1;;delay=0.2", "drop=-0.1", "drop=0.1,", "window=1",
+		"down=0:100:50", "down=0-1:100", "down=a-1:100:50", "down=0-b:100:50",
+		"7:down=0-1:100:50", "brown=2:100", "brown=x:100:50", "3:brown=2:100:50",
+		"7:drop=0.1;7:dup=0.2", "NoSuchKind:drop=0.1",
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParsePlanSchedules(t *testing.T) {
+	p, err := ParsePlan("drop=0.1;down=0-1:20000:5000;down=4-5:100:10;brown=2:40000:3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Outages) != 2 || len(p.Brownouts) != 1 {
+		t.Fatalf("schedules = %d outages, %d brownouts", len(p.Outages), len(p.Brownouts))
+	}
+	if !p.LinkDown(0, 1, 20000) || !p.LinkDown(1, 0, 24999) || p.LinkDown(0, 1, 25000) || p.LinkDown(0, 2, 20000) {
+		t.Fatal("LinkDown wrong at window boundaries")
+	}
+	if !p.NodeBrowned(2, 40000) || p.NodeBrowned(2, 43000) || p.NodeBrowned(3, 40000) {
+		t.Fatal("NodeBrowned wrong at window boundaries")
+	}
+	// Scheduled losses are independent of the probabilistic window.
+	p, err = ParsePlan("window=100:200,down=0-1:500:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active(500) || !p.LinkDown(0, 1, 500) {
+		t.Fatal("outage must cover times outside the probabilistic window")
+	}
+}
+
+// TestPlanStringRoundTrip: ParsePlan(p.String()) must reproduce p for a
+// corpus of plans drawn over every clause type — String is how plans are
+// recorded in reports and replayed, so a lossy rendering silently
+// changes the experiment on replay.
+func TestPlanStringRoundTrip(t *testing.T) {
+	corpus := []string{
+		"",
+		"drop=0.1",
+		"delay=0.1:2:64,dup=0.05:32,reorder=0.02:48,window=100:5000;7:delay=0.5:1:16;9:drop=0.25",
+		"drop=0.1;down=0-1:20000:5000;brown=2:40000:3000",
+		"drop=0.02,delay=0.125:1:7;down=3-7:1:2;down=0-1:9:9;brown=0:5:5;brown=15:1:100",
+		"dup=0.333;2:reorder=0.75:9",
+	}
+	// A seeded generator widens the corpus beyond the hand-picked cases.
+	rng := NewRNG(42)
+	for i := 0; i < 200; i++ {
+		var items []string
+		items = append(items, "drop="+fmtProb(float64(rng.Uint64n(1000))/1000))
+		if rng.Uint64n(2) == 0 {
+			lo := 1 + rng.Uint64n(50)
+			items = append(items, fmt.Sprintf("delay=%s:%d:%d", fmtProb(float64(rng.Uint64n(999)+1)/1000), lo, lo+rng.Uint64n(100)))
+		}
+		if rng.Uint64n(2) == 0 {
+			items = append(items, fmt.Sprintf("window=%d:%d", rng.Uint64n(100), 1000+rng.Uint64n(1000)))
+		}
+		s := strings.Join(items, ",")
+		if rng.Uint64n(2) == 0 {
+			s += fmt.Sprintf(";down=%d-%d:%d:%d", rng.Uint64n(8), 8+rng.Uint64n(8), rng.Uint64n(10000), 1+rng.Uint64n(10000))
+		}
+		if rng.Uint64n(2) == 0 {
+			s += fmt.Sprintf(";%d:dup=%s", 1+rng.Uint64n(12), fmtProb(float64(rng.Uint64n(999)+1)/1000))
+		}
+		corpus = append(corpus, s)
+	}
+	for _, src := range corpus {
+		p, err := ParsePlan(src)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", src, err)
+		}
+		rendered := p.String()
+		q, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) (rendered from %q): %v", rendered, src, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip changed the plan:\n source  %q\n render  %q\n before  %+v\n after   %+v", src, rendered, p, q)
+		}
+		if again := q.String(); again != rendered {
+			t.Fatalf("String not a fixed point: %q then %q", rendered, again)
+		}
+	}
+}
+
+// TestKindNameRegistration: registered mnemonics parse in plan text and
+// render in errors and String; unregistering restores raw integers.
+func TestKindNameRegistration(t *testing.T) {
+	names := map[int]string{2: "WriteReq", 5: "Inval"}
+	RegisterKindNames(
+		func(k int) string {
+			if n, ok := names[k]; ok {
+				return n
+			}
+			return fmt.Sprintf("kind%d", k)
+		},
+		func(s string) (int, bool) {
+			for k, n := range names {
+				if n == s {
+					return k, true
+				}
+			}
+			return 0, false
+		},
+	)
+	defer RegisterKindNames(nil, nil)
+	p, err := ParsePlan("WriteReq:drop=0.5;Inval:dup=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ByKind[2].DropProb != 0.5 || p.ByKind[5].DupProb != 0.25 {
+		t.Fatalf("mnemonic clauses misassigned: %+v", p.ByKind)
+	}
+	if s := p.String(); s != "WriteReq:drop=0.5;Inval:dup=0.25:32" {
+		t.Fatalf("String with names = %q", s)
+	}
+	if q, err := ParsePlan(p.String()); err != nil || !reflect.DeepEqual(p, q) {
+		t.Fatalf("named plan does not round-trip: %+v vs %+v (%v)", p, q, err)
+	}
+	if _, err := ParsePlan("ReadReq:drop=0.1"); err == nil {
+		t.Fatal("unregistered mnemonic accepted")
+	}
+	// Validation errors name the kind.
+	if err := p.Validate(nil); err == nil || !strings.Contains(err.Error(), "WriteReq(2)") {
+		t.Fatalf("validation error lacks the kind mnemonic: %v", err)
 	}
 }
 
@@ -116,16 +243,37 @@ func TestValidateRejectsUnprotectedDrops(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := p.Validate(nil); err == nil {
-		t.Fatal("drop with no retryable kinds accepted")
+		t.Fatal("drop with no end-to-end retry accepted")
 	}
 	if err := p.Validate(func(k int) bool { return k == 3 }); err != nil {
 		t.Fatalf("drop on a retryable kind rejected: %v", err)
 	}
-	if _, err := ParsePlan("drop=0.5"); err == nil {
-		// Parse succeeds; Validate must reject a dropping default.
-		p, _ := ParsePlan("drop=0.5")
-		if err := p.Validate(func(int) bool { return true }); err == nil {
-			t.Fatal("dropping default clause accepted")
+	if err := p.Validate(func(k int) bool { return k == 4 }); err == nil {
+		t.Fatal("drop on a non-retryable kind accepted")
+	}
+	// A dropping default rule is legal under universal retry (the mesh
+	// transport) and illegal without one.
+	p, err = ParsePlan("drop=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(func(int) bool { return true }); err != nil {
+		t.Fatalf("dropping default rejected despite universal retry: %v", err)
+	}
+	if err := p.Validate(nil); err == nil {
+		t.Fatal("dropping default accepted with no retry at all")
+	}
+	// Scheduled losses need a retry too.
+	for _, s := range []string{"down=0-1:100:50", "brown=3:100:50"} {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(nil); err == nil {
+			t.Fatalf("%q accepted with no retry", s)
+		}
+		if err := p.Validate(func(int) bool { return true }); err != nil {
+			t.Fatalf("%q rejected despite retry: %v", s, err)
 		}
 	}
 }

@@ -12,9 +12,12 @@
 package machine
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"strings"
 
 	"lazyrc/internal/causal"
 	"lazyrc/internal/config"
@@ -371,13 +374,46 @@ func (m *Machine) ContentionReport() string {
 // EnableWatchdog installs a liveness watchdog on the machine's engine:
 // every interval cycles it checks per-context forward progress, and on a
 // stall calls onStall with a report enriched with machine-level notes —
-// per-node in-flight transactions and NIC queue depths. The handler may
+// per-node in-flight transactions, NIC queue depths, the oldest in-flight
+// transport retransmissions, and the causal state of the stalled contexts
+// (which open stall is blocked on which lost message). The handler may
 // call m.Eng.Stop() to abort the run.
 func (m *Machine) EnableWatchdog(interval uint64, onStall func(sim.StallReport)) {
 	m.Eng.Watchdog(interval, func(r sim.StallReport) {
+		r.Retransmits = m.Net.TransportTop(8)
+		r.StallCauses = m.stallCauses()
 		r.Notes = append(r.Notes, m.stallNotes()...)
 		onStall(r)
 	})
+}
+
+// stallCauses renders the open causal stall spans, cross-referencing each
+// against the transport's pending retransmissions: an open stall whose
+// transaction has a message stuck in retransmission is, with high
+// likelihood, blocked on that loss.
+func (m *Machine) stallCauses() []string {
+	stalls := m.Causal.OpenStalls()
+	if len(stalls) == 0 {
+		return nil
+	}
+	retxByCT := make(map[uint64]mesh.RetxEntry)
+	for _, e := range m.Net.PendingRetransmits() {
+		if _, seen := retxByCT[e.CT]; !seen {
+			retxByCT[e.CT] = e
+		}
+	}
+	now := m.Eng.Now()
+	out := make([]string, 0, len(stalls))
+	for _, st := range stalls {
+		line := fmt.Sprintf("stall cause: node %d parked %d cycles in %s stall (%s, txn %d)",
+			st.Node, now-st.Begin, st.Class, st.Why, st.TID)
+		if e, ok := retxByCT[st.TID]; ok && st.TID != 0 {
+			line += fmt.Sprintf(" — blocked on lost %s %d->%d seq %d (attempt %d)",
+				faults.KindName(e.Kind), e.Src, e.Dst, e.Seq, e.Attempt)
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 // stallNotes collects machine-level liveness diagnostics for a stall
@@ -395,6 +431,14 @@ func (m *Machine) stallNotes() []string {
 	}
 	if s := m.Net.FaultSummary(); s != "" {
 		notes = append(notes, s)
+	}
+	if s := m.Net.TransportSummary(); s != "" {
+		notes = append(notes, s)
+	}
+	for _, n := range m.Nodes {
+		if w := n.SeqWaiting(); w > 0 {
+			notes = append(notes, fmt.Sprintf("node %d: %d arrival(s) parked in sequencer awaiting a gap fill", n.ID, w))
+		}
 	}
 	return notes
 }
@@ -456,8 +500,70 @@ func (m *Machine) CheckQuiescent() error {
 		if !n.CB.Empty() {
 			return fmt.Errorf("node %d: coalescing buffer not empty at end of run", n.ID)
 		}
+		if w := n.SeqWaiting(); w > 0 {
+			return fmt.Errorf("node %d: %d arrival(s) still parked in the delivery sequencer (a lost message was never recovered)", n.ID, w)
+		}
+	}
+	if _, _, _, _, _, pending := m.Net.TransportStats(); pending > 0 {
+		return fmt.Errorf("transport: %d message(s) still awaiting delivery at end of run", pending)
 	}
 	return nil
+}
+
+// MemDigest returns the SHA-256 of the final shared-memory image — the
+// fingerprint the end-state equivalence oracle compares: a faulted run is
+// correct iff its digest (and per-proc completion) matches the fault-free
+// run of the same seed. Timing may differ; this may not.
+func (m *Machine) MemDigest() string {
+	sum := sha256.Sum256(m.backing[:m.brk])
+	return hex.EncodeToString(sum[:])
+}
+
+// Completed reports whether every processor recorded a finish time — the
+// per-proc completion half of the end-state oracle.
+func (m *Machine) Completed() bool {
+	for i := range m.Stats.Procs {
+		if m.Stats.Procs[i].FinishTime == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DuplicatesIgnored sums the deliveries suppressed by every node's
+// sequencer (duplicates and late retransmitted originals).
+func (m *Machine) DuplicatesIgnored() uint64 {
+	var n uint64
+	for _, node := range m.Nodes {
+		n += node.DuplicatesIgnored()
+	}
+	return n
+}
+
+// SeqParked sums the out-of-order arrivals every node's sequencer held
+// for gap fill (cumulative).
+func (m *Machine) SeqParked() uint64 {
+	var n uint64
+	for _, node := range m.Nodes {
+		n += node.SeqParked()
+	}
+	return n
+}
+
+// FaultReport renders the full fault-injection picture of a run —
+// injector decisions, transport recovery, and receiver-side suppression —
+// or "" when no injector is attached.
+func (m *Machine) FaultReport() string {
+	if !m.Net.TransportActive() {
+		return ""
+	}
+	lines := []string{
+		m.Net.FaultSummary(),
+		m.Net.TransportSummary(),
+		fmt.Sprintf("delivery: %d duplicate(s) suppressed, %d arrival(s) resequenced",
+			m.DuplicatesIgnored(), m.SeqParked()),
+	}
+	return strings.Join(lines, "\n")
 }
 
 // TrafficReport renders the per-message-kind traffic of the run — the

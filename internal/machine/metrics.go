@@ -35,6 +35,13 @@ import (
 //   - net.lat.KIND histograms: send→deliver latency per message kind.
 //   - wb.residency / cb.residency histograms: cycles an entry waits in
 //     the write or coalescing buffer before draining.
+//   - net.{retx,dropped,dup_suppressed} (fault injection only): interval
+//     deltas of transport retransmissions, total losses (injector drops
+//     plus outage and brownout losses), and receiver-side suppression;
+//     net.retx.{depth,lat} histograms record each recovered message's
+//     backoff depth and first-send→delivery latency. Registered only
+//     when the transport is active so the zero-fault export shape — and
+//     its pinned baseline digest — is untouched.
 func (m *Machine) EnableMetrics(interval uint64) *telemetry.Registry {
 	if interval == 0 {
 		interval = 5000
@@ -69,6 +76,17 @@ func (m *Machine) EnableMetrics(interval uint64) *telemetry.Registry {
 	dirDirty := reg.Series("dir.dirty", telemetry.Level)
 	dirWeak := reg.Series("dir.weak", telemetry.Level)
 
+	// Transport series exist only when the reliable-delivery transport is
+	// engaged (a fault injector is attached): the registry digest folds
+	// every registered instrument, so the zero-fault export — and its
+	// pinned baseline digest — must not change shape.
+	var trRetx, trDropped, trSuppressed *telemetry.Series
+	if m.Net.TransportActive() {
+		trRetx = reg.Series("net.retx", telemetry.Delta)
+		trDropped = reg.Series("net.dropped", telemetry.Delta)
+		trSuppressed = reg.Series("net.dup_suppressed", telemetry.Delta)
+	}
+
 	nodes := len(m.Nodes)
 	inBusy := make([]*telemetry.Series, nodes)
 	outBusy := make([]*telemetry.Series, nodes)
@@ -92,6 +110,13 @@ func (m *Machine) EnableMetrics(interval uint64) *telemetry.Registry {
 		msgs, bytes := m.Net.Stats()
 		netMsgs.Set(float64(msgs))
 		netBytes.Set(float64(bytes))
+		if trRetx != nil {
+			retx, _, outage, brown, _, _ := m.Net.TransportStats()
+			_, _, _, injDropped := m.Net.FaultStats()
+			trRetx.Set(float64(retx))
+			trDropped.Set(float64(injDropped + outage + brown))
+			trSuppressed.Set(float64(m.DuplicatesIgnored()))
+		}
 
 		now := m.Eng.Now()
 		var notices, waiters int

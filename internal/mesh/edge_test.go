@@ -205,20 +205,30 @@ func TestInjectionPreservesPairwiseFIFO(t *testing.T) {
 	}
 }
 
-// TestDropRequiresRetryableKind verifies the drop safety interlock at
-// injector attach time.
-func TestDropRequiresRetryableKind(t *testing.T) {
+// TestDropsAllowedUnderTransport verifies the drop safety interlock: the
+// mesh's reliable transport makes every kind retryable, so SetInjector
+// accepts drops anywhere — including as the default rule — while a bare
+// plan validated with no retry still rejects them.
+func TestDropsAllowedUnderTransport(t *testing.T) {
 	eng := sim.NewEngine()
 	n := New(eng, config.Default(8))
-	plan, err := faults.ParsePlan("5:drop=0.5")
+	plan, err := faults.ParsePlan("drop=0.5;5:drop=0.9")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.SetInjector(faults.NewInjector(1, plan)); err == nil {
-		t.Fatal("SetInjector accepted drops on a kind with no retry")
+	if err := plan.Validate(nil); err == nil {
+		t.Fatal("plan with drops validated without any end-to-end retry")
 	}
-	n.MarkRetryable(5)
 	if err := n.SetInjector(faults.NewInjector(1, plan)); err != nil {
-		t.Fatalf("SetInjector rejected drops on a retryable kind: %v", err)
+		t.Fatalf("SetInjector rejected a dropping plan despite the transport: %v", err)
+	}
+	if !n.TransportActive() {
+		t.Fatal("transport not engaged after SetInjector")
+	}
+	if err := n.SetInjector(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n.TransportActive() {
+		t.Fatal("transport still engaged after detaching the injector")
 	}
 }

@@ -41,12 +41,13 @@ type Network struct {
 
 	// Fault injection (nil = reliable fabric, the default). When an
 	// injector is attached every message is stamped with a transaction id
-	// so receivers can deduplicate injected duplicates, and lastEntry
+	// and a per-channel sequence number, the reliable-delivery transport
+	// (tr, see transport.go) retransmits losses end-to-end, and lastEntry
 	// serializes per-(src,dst) network entry so injected reordering never
 	// violates the pairwise FIFO guarantee the protocols assume.
 	inj       *faults.Injector
+	tr        *transport
 	nextTID   uint64
-	retryable map[int]bool
 	lastEntry []sim.Time // nprocs*nprocs, indexed src*nprocs+dst
 
 	injReordered, injDelayed, injDuped, injDropped uint64
@@ -107,8 +108,16 @@ type Msg struct {
 
 	// TID is the network-assigned transaction id, stamped only when fault
 	// injection is active (0 otherwise). An injected duplicate carries its
-	// original's TID; receivers deduplicate on it.
+	// original's TID.
 	TID uint64
+
+	// Seq is the reliable-transport sequence number on the message's
+	// (src,dst) channel, stamped (1-based) only when fault injection is
+	// active; retransmissions and injected duplicates carry the
+	// original's Seq, and receivers run stamped messages through a
+	// Sequencer for exactly-once in-order delivery. Like TID it depends
+	// on dynamic send order, so it is excluded from msgHash.
+	Seq uint64
 
 	// CT is the causal transaction id threaded through the message,
 	// stamped at Send from the tracer's current context when causal
@@ -166,22 +175,26 @@ func (n *Network) Finalize() error {
 	return nil
 }
 
-// SetInjector attaches a fault injector, validating its plan against the
-// kinds registered as retryable. Pass nil to detach. With an injector
-// attached, every message is stamped with a transaction id and the
-// injector decides per message whether to add jitter, hold it back, or
-// duplicate it; with none, the send path is exactly the reliable fabric.
+// SetInjector attaches a fault injector and engages the reliable-delivery
+// transport (transport.go), which makes every message kind retryable.
+// Pass nil to detach both. With an injector attached, every cross-node
+// message is stamped with a transaction id and a channel sequence number,
+// tracked until delivery, and retransmitted on timeout; with none, the
+// send path is exactly the reliable fabric.
 func (n *Network) SetInjector(inj *faults.Injector) error {
 	if inj != nil {
 		if n.exp != nil {
 			return fmt.Errorf("mesh: fault injector and schedule explorer are mutually exclusive")
 		}
-		if err := inj.Validate(func(kind int) bool { return n.retryable[kind] }); err != nil {
+		if err := inj.Validate(func(int) bool { return true }); err != nil {
 			return err
 		}
 		if n.lastEntry == nil {
 			n.lastEntry = make([]sim.Time, n.nprocs*n.nprocs)
 		}
+		n.tr = newTransport(n, inj)
+	} else {
+		n.tr = nil
 	}
 	n.inj = inj
 	return nil
@@ -218,16 +231,6 @@ func (n *Network) SetExplorer(ch sim.Chooser, menu []uint64) error {
 // With one attached every Send stamps the message's CT from the
 // tracer's current context and every wire flight records a net span.
 func (n *Network) SetCausal(t *causal.Tracer) { n.causal = t }
-
-// MarkRetryable registers a message kind as having an end-to-end retry,
-// making it legal for a fault plan to drop it. The base protocols assume
-// a reliable fabric and register none.
-func (n *Network) MarkRetryable(kind int) {
-	if n.retryable == nil {
-		n.retryable = map[int]bool{}
-	}
-	n.retryable[kind] = true
-}
 
 // Hops returns the XY-routing distance between two nodes.
 func (n *Network) Hops(a, b int) uint64 {
@@ -308,13 +311,24 @@ func (n *Network) Send(m Msg) {
 		n.transmit(m, 0)
 		return
 	}
+	// Stamp identity once — the transaction id and the channel sequence
+	// number — then enter the ledger and dispatch through the injector.
+	// Retransmissions re-enter via dispatch with the same stamps.
 	n.nextTID++
 	m.TID = n.nextTID
+	pair := m.Src*n.nprocs + m.Dst
+	n.tr.seq[pair]++
+	m.Seq = n.tr.seq[pair]
+	n.tr.track(m)
+	n.dispatch(m)
+}
+
+// dispatch runs one send attempt (first transmission or retransmission)
+// through the fault injector: it may be dropped outright — the timeout
+// timer recovers it — held back, jittered, or duplicated.
+func (n *Network) dispatch(m Msg) {
 	f := n.inj.Decide(m.Kind, m.Src, m.Dst, m.Size, n.eng.Now())
 	if f.Drop {
-		if !n.retryable[m.Kind] {
-			panic(fmt.Sprintf("mesh: injector dropped non-retryable kind %d", m.Kind))
-		}
 		n.injDropped++
 		return
 	}
@@ -325,7 +339,9 @@ func (n *Network) Send(m Msg) {
 	// The floor is strict (lastEntry stores entry+1): a message held to
 	// entry time T sits in a pending callback, and a successor sent at
 	// exactly cycle T with no hold of its own would otherwise take the
-	// synchronous fast path below and overtake it.
+	// synchronous fast path below and overtake it. (Loss still reorders
+	// the wire — a retransmission lands late — which is why receivers
+	// resequence stamped messages; see Sequencer.)
 	entry := n.eng.Now() + f.PreDelay
 	pair := m.Src*n.nprocs + m.Dst
 	if t := n.lastEntry[pair]; t > entry {
@@ -354,8 +370,16 @@ func (n *Network) Send(m Msg) {
 
 // transmit puts one message (or injected duplicate) on the wire: port
 // occupancy, hop latency, payload streaming, plus extra injected in-flight
-// latency.
+// latency. With the transport engaged, a message whose route crosses a
+// downed link is lost before it occupies any port, a message arriving
+// inside the destination's brownout window is lost at the door, and a
+// delivered message settles its transport ledger entry (the implicit,
+// zero-cost ack).
 func (n *Network) transmit(m Msg, extra uint64) {
+	if m.Src != m.Dst && n.routeDown(m.Src, m.Dst, n.eng.Now()) {
+		n.tr.outageDrops++
+		return
+	}
 	n.sent++
 	n.bytesSent += uint64(m.Size)
 	n.byKind[m.Kind]++
@@ -379,7 +403,17 @@ func (n *Network) transmit(m Msg, extra uint64) {
 	n.causal.Net(m.CT, m.Src, m.Dst, m.Kind, m.Addr,
 		n.eng.Now(), deliver, sendStart-n.eng.Now(), deliver-rawArrival)
 	n.flightAdd(m)
-	n.eng.At(deliver, func() { n.flightRemove(m); n.handlers[m.Dst](m) })
+	n.eng.At(deliver, func() {
+		n.flightRemove(m)
+		if n.tr != nil {
+			if n.tr.plan.NodeBrowned(m.Dst, n.eng.Now()) {
+				n.tr.brownDrops++
+				return
+			}
+			n.tr.ack(m)
+		}
+		n.handlers[m.Dst](m)
+	})
 }
 
 // msgHash is an FNV-1a fingerprint of a message's protocol-visible

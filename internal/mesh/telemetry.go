@@ -14,6 +14,11 @@ type telemetrySink struct {
 	reg      *telemetry.Registry
 	kindName func(int) string
 	lat      []*telemetry.Histogram // indexed by message kind
+
+	// Reliable-transport instruments, created lazily on the first
+	// recovered loss — a run that never loses a message exports neither.
+	retxDepth *telemetry.Histogram // backoff depth at delivery
+	retxLat   *telemetry.Histogram // first-send -> delivery latency
 }
 
 // EnableTelemetry attaches per-kind latency histograms to the network.
@@ -43,6 +48,20 @@ func (t *telemetrySink) observe(kind int, cycles uint64) {
 		t.lat[kind] = t.reg.Histogram(name)
 	}
 	t.lat[kind].Observe(cycles)
+}
+
+// observeRetx records one recovered message's backoff depth and its
+// first-send → final-delivery latency ("how long did the loss cost").
+func (t *telemetrySink) observeRetx(depth, lat uint64) {
+	if t == nil {
+		return
+	}
+	if t.retxDepth == nil {
+		t.retxDepth = t.reg.Histogram("net.retx.depth")
+		t.retxLat = t.reg.Histogram("net.retx.lat")
+	}
+	t.retxDepth.Observe(depth)
+	t.retxLat.Observe(lat)
 }
 
 // PortBusyInOut returns the cumulative occupancy of node id's receive and

@@ -55,10 +55,26 @@ type pendingReq struct {
 	memEnd uint64
 }
 
+// heldDrop is a copy-drop notification (eviction hint or write-back)
+// that arrived for a block whose ownership transfer is still pending.
+// The transfer's directory commit happens at XferDone — after the data
+// already reached the requester — so a requester that obtains and then
+// immediately replaces its copy can have its drop notification arrive
+// before the commit that records the copy. Applying the drop early makes
+// the commit resurrect a dead sharer (a copy the home can never
+// invalidate again, or a phantom owner every future request is forwarded
+// to and NACKed by, forever). Drops for mid-transfer blocks are held and
+// applied in arrival order once the transfer commits or aborts.
+type heldDrop struct {
+	src int
+	wb  bool // write-back (conditional owner removal) vs eviction hint
+}
+
 type eagerState struct {
 	grants   map[uint64]eagerGrant
 	deferred map[uint64][]pendingReq
 	xfers    map[uint64]xfer
+	held     map[uint64][]heldDrop
 	// servicing marks blocks whose deferred-queue head is being
 	// re-processed. Queue service is strictly FIFO: while a queue or the
 	// servicing mark exists, newly arriving requests join the back —
@@ -73,6 +89,7 @@ func (n *Node) eager() *eagerState {
 			grants:    make(map[uint64]eagerGrant),
 			deferred:  make(map[uint64][]pendingReq),
 			xfers:     make(map[uint64]xfer),
+			held:      make(map[uint64][]heldDrop),
 			servicing: make(map[uint64]bool),
 		}
 	}
@@ -98,7 +115,7 @@ func eagerDeliver(n *Node, m mesh.Msg) {
 	case MsgFwdNack:
 		eagerFwdNack(n, m)
 	case MsgEvict:
-		homeDropCopy(n, m)
+		eagerHomeEvict(n, m)
 	case MsgFwdRead, MsgFwdWrite:
 		eagerOwnerForward(n, m)
 	case MsgInval:
@@ -339,22 +356,89 @@ func eagerHomeInvalAck(n *Node, m mesh.Msg) {
 }
 
 // eagerHomeWriteBack absorbs a replaced dirty block. The owner check
-// guards against the (theoretically possible) case where the owner
-// re-fetched the block before its write-back landed.
+// guards against the case where the owner re-fetched the block before
+// its write-back landed. The directory mutation commits at dirEnd —
+// protocol-processor completion times are monotone in delivery order, so
+// every same-block message delivered after this one observes the
+// post-write-back directory. Committing at max(dirEnd, memEnd) instead
+// would let a re-fetch request delivered just after the write-back (the
+// sequencer drains a parked successor in the same cycle a retransmitted
+// write-back fills its gap) re-grant ownership first and have the stale
+// guard then untrack the live copy. Only the acknowledgement waits for
+// the memory access.
 func eagerHomeWriteBack(n *Node, m mesh.Msg) {
 	n.mergeHome(m.Addr, m.Vals, ^uint64(0))
 	memEnd := n.memAccess(n.lineBytes())
 	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		eagerDropOrHold(n, m.Addr, heldDrop{src: m.Src, wb: true})
+	})
 	n.Env.Eng.At(maxTime(dirEnd, memEnd), func() {
-		e := n.Dir.Entry(m.Addr)
-		if e.Writers.Has(m.Src) {
-			e.Sharers.Remove(m.Src)
-			e.Writers.Remove(m.Src)
-			e.Recompute()
-			n.Dir.Check(m.Addr, e)
-		}
 		n.send(m.Src, MsgWTAck, m.Addr, 0, 0, 0)
 	})
+}
+
+// eagerHomeEvict absorbs a clean-copy replacement hint. Like the
+// write-back above, the directory mutation commits at dirEnd — and is
+// held if the block's ownership transfer is still pending.
+func eagerHomeEvict(n *Node, m mesh.Msg) {
+	end := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
+	n.Env.Eng.At(end, func() {
+		eagerDropOrHold(n, m.Addr, heldDrop{src: m.Src})
+	})
+}
+
+// eagerDropOrHold applies one copy-drop notification to the directory —
+// unless it comes from the requester of the block's still-pending
+// ownership transfer, in which case it is held until the transfer
+// commits (XferDone) or aborts (FwdNack). Such a notification refers to
+// the very copy the pending transfer is about to record: the requester
+// received the owner's data and replaced the line before the (lost and
+// retransmitted) XferDone reached home, so applying it before the
+// commit makes the commit resurrect the dead copy. Drops from any other
+// node touch only that node's directory membership, which the commit
+// does not dispute — they commute with it and apply immediately.
+func eagerDropOrHold(n *Node, block uint64, d heldDrop) {
+	es := n.eager()
+	if x, open := es.xfers[block]; open && x.req == d.src {
+		es.held[block] = append(es.held[block], d)
+		return
+	}
+	eagerApplyDrop(n, block, d)
+}
+
+// eagerApplyDrop commits one copy-drop notification. A write-back from
+// a node the directory no longer records as owner is stale — the owner
+// re-fetched the block before its write-back landed — and must not
+// untrack the live copy; eviction hints are unconditional.
+func eagerApplyDrop(n *Node, block uint64, d heldDrop) {
+	e := n.Dir.Peek(block)
+	if e == nil {
+		return
+	}
+	if d.wb && !e.Writers.Has(d.src) {
+		return
+	}
+	e.Sharers.Remove(d.src)
+	e.Writers.Remove(d.src)
+	e.Recompute()
+	n.Dir.Check(block, e)
+}
+
+// eagerReleaseHeld applies, in arrival order, the copy drops that were
+// held while block's ownership transfer was pending. Called after the
+// transfer's directory commit (or abort) and before deferred-queue
+// service, so replayed requests observe the drops.
+func eagerReleaseHeld(n *Node, block uint64) {
+	es := n.eager()
+	drops := es.held[block]
+	if len(drops) == 0 {
+		return
+	}
+	delete(es.held, block)
+	for _, d := range drops {
+		eagerApplyDrop(n, block, d)
+	}
 }
 
 // eagerOwnerForward handles a forwarded request at the current owner.
@@ -418,6 +502,7 @@ func eagerXferDone(n *Node, m mesh.Msg) {
 		e.Recompute()
 	}
 	n.Dir.Check(m.Addr, e)
+	eagerReleaseHeld(n, m.Addr)
 	eagerUnbusy(n, m.Addr)
 }
 
@@ -434,6 +519,7 @@ func eagerFwdNack(n *Node, m mesh.Msg) {
 		panic(fmt.Sprintf("protocol: node %d FwdNack without pending transfer (block %d)", n.ID, m.Addr))
 	}
 	delete(es.xfers, m.Addr)
+	eagerReleaseHeld(n, m.Addr)
 	orig := mesh.Msg{Src: x.req, Dst: n.ID, Addr: m.Addr}
 	if x.isWrite {
 		orig.Kind = int(MsgWriteReq)

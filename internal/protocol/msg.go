@@ -19,7 +19,11 @@
 // the consistency-model hooks.
 package protocol
 
-import "fmt"
+import (
+	"fmt"
+
+	"lazyrc/internal/faults"
+)
 
 // MsgKind enumerates coherence and synchronization message types.
 type MsgKind int
@@ -130,6 +134,29 @@ const wantData = 1
 
 // NumMsgKinds returns the number of message kinds (for traffic reports).
 func NumMsgKinds() int { return int(numMsgKinds) }
+
+// MsgName returns the mnemonic for a raw message-kind integer — the form
+// fault plans and error messages use.
+func MsgName(kind int) string { return MsgKind(kind).String() }
+
+// MsgKindByName resolves a mnemonic (as printed by MsgName) back to its
+// kind. The second result is false for unknown names.
+func MsgKindByName(name string) (int, bool) {
+	for k, n := range msgNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// The faults package renders and parses plans in terms of message kinds
+// but cannot import this package (protocol imports mesh imports faults);
+// register the naming functions with it instead, so plan text and
+// validation errors speak mnemonics.
+func init() {
+	faults.RegisterKindNames(MsgName, MsgKindByName)
+}
 
 // IsSync reports whether the kind is synchronization traffic.
 func (k MsgKind) IsSync() bool { return k >= MsgLockReq && k <= MsgFlagGo }

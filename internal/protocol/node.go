@@ -156,8 +156,7 @@ type Node struct {
 	releaseParked bool // CPU is parked in a release drain
 	wbParked      bool // CPU is parked on a full write buffer
 
-	dedup      dedupWindow // injected-duplicate suppression (by mesh TID)
-	dupIgnored uint64      // duplicate deliveries discarded
+	seq *mesh.Sequencer // exactly-once in-order delivery under faults
 
 	eagerHome *eagerState // lazily allocated eager-protocol home state
 
@@ -184,6 +183,7 @@ func NewNode(env *Env, id int, proto Protocol) *Node {
 		outstanding: make(map[uint64]*Txn),
 		pendInvSet:  make(map[uint64]bool),
 		delayedSet:  make(map[uint64]bool),
+		seq:         mesh.NewSequencer(cfg.Procs),
 	}
 	n.sync.init()
 	env.Net.Handle(id, n.Deliver)
@@ -192,15 +192,16 @@ func NewNode(env *Env, id int, proto Protocol) *Node {
 
 // Deliver routes an arriving message: synchronization traffic to the sync
 // manager, coherence traffic to the protocol. Messages stamped with a
-// transaction id (fault injection active) are deduplicated here, making
-// every protocol and sync handler idempotent under injected duplication
-// at a single point.
+// transport sequence number (fault injection active) first pass through
+// the node's sequencer, which suppresses duplicates and late
+// retransmitted originals and holds early arrivals until the gap fills —
+// a single point that makes every protocol and sync handler idempotent
+// and order-safe under loss, duplication, and retransmission.
 func (n *Node) Deliver(m mesh.Msg) {
-	if m.TID != 0 && !n.dedup.admit(m.TID) {
-		n.dupIgnored++
-		n.debugf("dedup: ignoring duplicate tid %d kind %d block %d from %d", m.TID, m.Kind, m.Addr, m.Src)
-		return
-	}
+	n.seq.Admit(m, n.deliver)
+}
+
+func (n *Node) deliver(m mesh.Msg) {
 	if MsgKind(m.Kind).IsSync() {
 		n.deliverSync(m)
 		return
@@ -647,9 +648,18 @@ func (n *Node) DelayedNotices() int { return len(n.delayed) }
 // synchronization acquire (lock or barrier wait gate open).
 func (n *Node) SyncWaiting() bool { return n.sync.gate != nil }
 
-// DuplicatesIgnored returns how many injected duplicate deliveries this
-// node discarded.
-func (n *Node) DuplicatesIgnored() uint64 { return n.dupIgnored }
+// DuplicatesIgnored returns how many duplicate or late-retransmitted
+// deliveries this node's sequencer discarded.
+func (n *Node) DuplicatesIgnored() uint64 { return n.seq.Suppressed() }
+
+// SeqParked returns how many out-of-order arrivals this node's sequencer
+// held for gap fill (cumulative).
+func (n *Node) SeqParked() uint64 { return n.seq.Parked() }
+
+// SeqWaiting returns how many arrivals are currently parked in this
+// node's sequencer — nonzero at quiescence means a message was lost and
+// never recovered.
+func (n *Node) SeqWaiting() int { return n.seq.Waiting() }
 
 // HomeBusy reports whether this node, as home, has transient protocol
 // machinery open for block — an eager ownership transfer or grant in

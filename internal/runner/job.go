@@ -29,7 +29,10 @@ import (
 // it and must be recomputed.
 // v3: results grew the causal span count and digest; cached v2 results
 // lack them and must be recomputed.
-const fingerprintVersion = "lazyrc-job-v3"
+// v4: results grew the end-state fields (memory digest, completion,
+// invariant-check outcome) and transport counters; cached v3 results
+// lack them and must be recomputed.
+const fingerprintVersion = "lazyrc-job-v4"
 
 // Job is one simulation to run: an application at a scale, a protocol,
 // and a fully materialized machine configuration. Two jobs with the same

@@ -5,6 +5,9 @@ import (
 	"fmt"
 
 	"lazyrc/internal/apps"
+	"lazyrc/internal/check"
+	"lazyrc/internal/machine"
+	"lazyrc/internal/sim"
 	"lazyrc/internal/stats"
 )
 
@@ -50,6 +53,27 @@ type Result struct {
 	Spans      uint64 `json:"spans,omitempty"`
 	SpanDigest string `json:"span_digest,omitempty"`
 
+	// MemDigest is the SHA-256 of the machine's final shared-memory image
+	// and Completed reports whether every processor finished. Together
+	// they are the end-state half of the chaos oracle: a faulted run must
+	// reproduce the fault-free same-seed run's digest and completion
+	// exactly, or the reliable transport leaked a loss into application
+	// state.
+	MemDigest string `json:"mem_digest,omitempty"`
+	Completed bool   `json:"completed"`
+
+	// CheckErr records a protocol-invariant violation (epoch or
+	// quiescence audit) or a liveness-watchdog trip. Guards run only for
+	// faulted jobs (Cfg.FaultPlan != ""); fault-free jobs leave it empty.
+	CheckErr string `json:"check_err,omitempty"`
+
+	// Transport counters, nonzero only under fault injection: messages
+	// the injector faulted, losses the transport retransmitted around,
+	// and duplicate or stale arrivals the receivers suppressed.
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	Retransmits    uint64 `json:"retransmits,omitempty"`
+	DupSuppressed  uint64 `json:"dup_suppressed,omitempty"`
+
 	// VerifyErr records a deterministic numerical-verification failure.
 	// Such results are still cacheable: the same job always fails the
 	// same way.
@@ -89,6 +113,15 @@ func (r *Result) Err() error {
 // digest, so bump fingerprintVersion with it.
 const metricsInterval = 4096
 
+// Guard cadences for faulted jobs: invariant audits every checkEpoch
+// cycles, and a liveness watchdog that stops a run making no progress for
+// watchdogQuiet cycles (a lost message the transport failed to recover
+// would otherwise hang the sweep).
+const (
+	checkEpoch    = 10000
+	watchdogQuiet = 200000
+)
+
 var simulate = func(j Job, res *Result) error {
 	app, err := apps.New(j.App, j.Scale)
 	if err != nil {
@@ -97,7 +130,27 @@ var simulate = func(j Job, res *Result) error {
 	if err := j.Cfg.Validate(); err != nil {
 		return err
 	}
-	m, reg, verr := apps.RunTraced(j.Cfg, j.Proto, app, metricsInterval)
+	// Faulted jobs run guarded: a protocol-invariant auditor audits every
+	// epoch and at quiescence, and a watchdog converts a transport-level
+	// hang into a recorded failure instead of a stuck worker. Fault-free
+	// jobs take the exact unguarded path (both guards are background-only,
+	// but keeping them off preserves the pre-chaos runner byte for byte).
+	var aud *check.Auditor
+	var stalled string
+	preRun := func(m *machine.Machine) {
+		aud = check.New(m)
+		aud.Start(checkEpoch)
+		m.EnableWatchdog(watchdogQuiet, func(r sim.StallReport) {
+			if stalled == "" {
+				stalled = r.String()
+			}
+			m.Eng.Stop()
+		})
+	}
+	if j.Cfg.FaultPlan == "" {
+		preRun = nil
+	}
+	m, reg, verr := apps.RunTracedWith(j.Cfg, j.Proto, app, metricsInterval, preRun)
 	if verr != nil {
 		res.VerifyErr = verr.Error()
 	}
@@ -111,6 +164,26 @@ var simulate = func(j Job, res *Result) error {
 		res.MetricsDigest = reg.Digest()
 		res.Spans = m.Causal.Count()
 		res.SpanDigest = m.Causal.Digest()
+		res.MemDigest = m.MemDigest()
+		res.Completed = m.Completed()
+		reord, delay, dup, drop := m.Net.FaultStats()
+		retx, _, outage, brown, _, _ := m.Net.TransportStats()
+		res.FaultsInjected = reord + delay + dup + drop + outage + brown
+		res.Retransmits = retx
+		res.DupSuppressed = m.DuplicatesIgnored()
+		if aud != nil {
+			aud.Final()
+			switch {
+			case stalled != "":
+				res.CheckErr = "watchdog: " + stalled
+			case aud.Err() != nil:
+				res.CheckErr = aud.Err().Error()
+			default:
+				if qerr := m.CheckQuiescent(); qerr != nil {
+					res.CheckErr = qerr.Error()
+				}
+			}
+		}
 	}
 	return nil
 }

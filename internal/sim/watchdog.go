@@ -27,6 +27,15 @@ type StallReport struct {
 	Events uint64
 	// Contexts lists every unfinished context, sorted by name.
 	Contexts []ContextStatus
+	// Retransmits lists the oldest in-flight reliable-transport
+	// retransmit entries (messages the fabric is failing to deliver),
+	// filled in by the machine layer when fault injection is active.
+	Retransmits []string
+	// StallCauses describes the causal critical-path state of the stalled
+	// contexts — the open stall spans and, where a pending retransmission
+	// belongs to the same transaction, the loss it is blocked on. Filled
+	// in by the machine layer when causal tracing is active.
+	StallCauses []string
 	// Notes carries machine-level diagnostics (in-flight transactions,
 	// NIC queue depths) appended by higher layers.
 	Notes []string
@@ -42,6 +51,12 @@ func (r StallReport) String() string {
 		} else {
 			s += fmt.Sprintf("\n  %s: runnable (progress %d)", c.Name, c.Progress)
 		}
+	}
+	for _, line := range r.StallCauses {
+		s += "\n  " + line
+	}
+	for _, line := range r.Retransmits {
+		s += "\n  " + line
 	}
 	for _, n := range r.Notes {
 		s += "\n  " + n
