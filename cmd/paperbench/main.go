@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -58,6 +59,7 @@ func main() {
 		critPath   = flag.Bool("critical-path", false, "also print the per-app per-protocol critical-path stall attribution table (runs span-traced simulations outside the result cache)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		remote     = flag.String("remote", "", "submit the evaluation to a running lrcsimd daemon at this base URL (e.g. http://127.0.0.1:7077) instead of simulating locally; matrix targets only, -j and -cache are the daemon's concern")
 	)
 	flag.Parse()
 
@@ -71,13 +73,30 @@ func main() {
 	if len(targets) == 0 {
 		targets = []string{"all"}
 	}
+	if *remote != "" {
+		code := runRemote(remoteOpts{
+			base: *remote, targets: targets, scale: *scaleFlag,
+			procs: *procs, seed: *seed, quiet: *quiet,
+			jsonOut: *jsonOut, reportOut: *reportOut,
+			baseline: *baseline, tol: *tol,
+		})
+		stopProfiles()
+		os.Exit(code)
+	}
 	want := map[string]bool{}
 	for _, t := range targets {
 		want[t] = true
 	}
 	all := want["all"]
 
+	ctx := context.Background()
+
+	// The store is held as the concrete type for Close, but the runner
+	// takes the interface: pass untyped nil when no cache was requested so
+	// the runner's store==nil fast path applies (a typed-nil *runner.Store
+	// inside the interface would not compare equal to nil).
 	var store *runner.Store
+	var rstore runner.ResultStore
 	if *cacheFile != "" {
 		store, err = runner.OpenStore(*cacheFile)
 		if err != nil {
@@ -86,8 +105,9 @@ func main() {
 		if n := store.Recovered(); n > 0 && !*quiet {
 			fmt.Fprintf(os.Stderr, "cache: skipped %d corrupt line(s) in %s; affected runs will re-simulate\n", n, *cacheFile)
 		}
+		rstore = store
 	}
-	rn := runner.New(*workers, store)
+	rn := runner.New(*workers, rstore)
 	if !*quiet {
 		rn.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -134,7 +154,7 @@ func main() {
 	}
 	if all || want["sweep"] {
 		for _, sw := range exp.Sweeps() {
-			emit("sweep", exp.RunSweep(rn, scale, *procs, sw))
+			emit("sweep", exp.RunSweep(ctx, rn, scale, *procs, sw))
 		}
 	}
 	if all || want["mp3dquality"] {
@@ -142,20 +162,20 @@ func main() {
 	}
 	if want["ablate"] {
 		for _, ab := range exp.Ablations() {
-			emit("ablate", exp.RunAblation(rn, scale, *procs, ab))
+			emit("ablate", exp.RunAblation(ctx, rn, scale, *procs, ab))
 		}
 	}
 	if want["dsm"] {
-		emit("dsm", exp.LazierUnderSoftwareCoherence(rn, scale, *procs, "locusroute"))
+		emit("dsm", exp.LazierUnderSoftwareCoherence(ctx, rn, scale, *procs, "locusroute"))
 	}
 	if want["scaling"] {
 		for _, app := range []string{"mp3d", "blu", "gauss"} {
-			emit("scaling", exp.RunScaling(rn, scale, app, exp.ScalingCounts))
+			emit("scaling", exp.RunScaling(ctx, rn, scale, app, exp.ScalingCounts))
 		}
 	}
 	chaosFailed := false
 	if want["chaos"] {
-		body, err := exp.RunChaos(rn, scale, *procs, *seed, exp.AppOrder,
+		body, err := exp.RunChaos(ctx, rn, scale, *procs, *seed, exp.AppOrder,
 			[]string{"sc", "erc", "lrc", "lrc-ext"}, nil)
 		emit("chaos", body)
 		if err != nil {

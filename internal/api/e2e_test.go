@@ -1,0 +1,242 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"lazyrc/internal/causal"
+	"lazyrc/internal/runner"
+	"lazyrc/internal/store"
+)
+
+// daemon is one test incarnation of the service stack: store, service,
+// HTTP server, client.
+type daemon struct {
+	st  *store.Store
+	svc *Service
+	ts  *httptest.Server
+	c   *Client
+}
+
+func startDaemon(t *testing.T, dir string, workers int) *daemon {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(workers, st)
+	ts := httptest.NewServer(NewServer(svc))
+	hc := ts.Client()
+	return &daemon{st: st, svc: svc, ts: ts, c: &Client{Base: ts.URL, HTTPClient: hc}}
+}
+
+// stop tears the incarnation down in daemon order: drain the service,
+// close the bus, close the HTTP server, close the store.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.svc.Close(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	d.ts.CloseClientConnections()
+	d.ts.Close()
+	if err := d.st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+}
+
+// TestEndToEnd is the PR's acceptance test: submit a sweep over HTTP,
+// follow its SSE stream to completion, fetch the report; submit the
+// identical sweep again and require zero new executions with
+// byte-identical report bytes; then restart the daemon on the same store
+// directory and require the resubmitted sweep to be served entirely from
+// the persistent store — fingerprints stable across the restart — again
+// byte-identical. Finally the whole stack must shut down without leaking
+// goroutines.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Let the runtime settle, then baseline the goroutine count.
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	d1 := startDaemon(t, dir, 4)
+	if err := d1.c.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Cold submission: everything simulates. ---
+	spec := tinySpec()
+	st, err := d1.c.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepID := st.ID
+	if spec.ID() != sweepID {
+		t.Fatalf("server sweep ID %s != client-computed spec ID %s", sweepID, spec.ID())
+	}
+
+	var beats, running int
+	st, err = d1.c.WaitSweep(ctx, sweepID, func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.EventHeartbeat:
+			beats++
+		case runner.EventRunning:
+			running++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Error != "" {
+		t.Fatalf("cold sweep: %+v", st)
+	}
+	if st.Jobs != 6 || st.Executed != 6 || st.FromCache != 0 {
+		t.Fatalf("cold counters: %+v", st)
+	}
+	if running == 0 {
+		t.Error("SSE stream delivered no running events")
+	}
+
+	rep1, err := d1.c.SweepReport(ctx, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html1, err := d1.c.SweepHTML(ctx, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(html1, []byte("<html")) && !bytes.Contains(html1, []byte("<!DOCTYPE")) {
+		t.Fatal("HTML report does not look like HTML")
+	}
+
+	// --- Warm resubmission, same daemon: the sweep record itself is the
+	// singleflight — no new work, identical bytes. ---
+	st2, err := d1.c.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != sweepID || st2.State != StateDone {
+		t.Fatalf("resubmission: %+v", st2)
+	}
+	if m := d1.svc.Runner().Meta(); m.Simulated != 6 {
+		t.Fatalf("resubmission simulated: %+v", m)
+	}
+	rep2, err := d1.c.SweepReport(ctx, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatal("same-daemon resubmission served different report bytes")
+	}
+
+	// --- Direct job submission shares the store with sweep cells. ---
+	jreq := JobRequest{App: "gauss", Scale: "tiny", Proto: "lrc", Procs: 4, Seed: 1}
+	js, err := d1.c.SubmitJob(ctx, jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err = d1.c.WaitJob(ctx, js.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != StateDone || js.Result == nil {
+		t.Fatalf("job: %+v", js)
+	}
+	if !js.Result.Cached && !js.Cached {
+		// The sweep already simulated this exact cell; the job must have
+		// been resolved without a fresh run (memo or store).
+		if m := d1.svc.Runner().Meta(); m.Simulated != 6 {
+			t.Fatalf("direct job re-simulated a sweep cell: %+v", m)
+		}
+	}
+	jobFP := js.FP
+
+	// --- Live Perfetto trace export for a known job. ---
+	trace, err := d1.c.JobTrace(ctx, jobFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := causal.ValidateTrace(trace); err != nil || n == 0 {
+		t.Fatalf("trace invalid (%d events): %v", n, err)
+	}
+
+	stats, err := d1.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil || stats.Store.Entries != 6 {
+		t.Fatalf("store stats after cold run: %+v", stats.Store)
+	}
+
+	d1.stop(t)
+
+	// --- Restart on the same store directory: the resubmitted sweep is
+	// served entirely from persistence, fingerprints stable. ---
+	d2 := startDaemon(t, dir, 2)
+	if err := d2.c.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := d2.c.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ID != sweepID {
+		t.Fatalf("sweep identity drifted across restart: %s != %s", st3.ID, sweepID)
+	}
+	st3, err = d2.c.WaitSweep(ctx, sweepID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.State != StateDone || st3.Executed != 0 || st3.FromCache != 6 {
+		t.Fatalf("warm restart counters: %+v", st3)
+	}
+	if m := d2.svc.Runner().Meta(); m.Simulated != 0 || m.CacheHits != 6 {
+		t.Fatalf("warm restart runner: %+v", m)
+	}
+	rep3, err := d2.c.SweepReport(ctx, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep1, rep3) {
+		t.Fatalf("report bytes drifted across restart:\n%s\n---\n%s", rep1, rep3)
+	}
+
+	// The direct job's result survives as a store lookup with the same
+	// fingerprint, even though this daemon never ran it.
+	js2, err := d2.c.Job(ctx, jobFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js2.State != StateDone || !js2.Cached || js2.Result == nil {
+		t.Fatalf("restarted job lookup: %+v", js2)
+	}
+	if js2.Result.Fingerprint != jobFP {
+		t.Fatal("job fingerprint drifted across restart")
+	}
+
+	d2.stop(t)
+
+	// --- Zero leaked goroutines. ---
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

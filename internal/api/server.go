@@ -1,0 +1,332 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lazyrc/internal/causal"
+	"lazyrc/internal/exp"
+	"lazyrc/internal/machine"
+	"lazyrc/internal/runner"
+)
+
+// NewServer binds the service to an HTTP mux. The surface:
+//
+//	GET    /healthz                     liveness probe
+//	GET    /api/v1/stats                runner/store/bus counters
+//	POST   /api/v1/compact              store compaction pass
+//	POST   /api/v1/sweeps               submit an exp.Spec    → SweepStatus
+//	GET    /api/v1/sweeps               list sweeps
+//	GET    /api/v1/sweeps/{id}          one sweep's status
+//	DELETE /api/v1/sweeps/{id}          cancel a sweep
+//	GET    /api/v1/sweeps/{id}/events   SSE: the sweep's job events + final status
+//	GET    /api/v1/sweeps/{id}/report.json  stable report (finished sweeps)
+//	GET    /api/v1/sweeps/{id}/report.html  HTML report (finished sweeps)
+//	POST   /api/v1/jobs                 submit a JobRequest   → JobStatus
+//	GET    /api/v1/jobs                 list jobs
+//	GET    /api/v1/jobs/{fp}            one job's status (or a store lookup)
+//	DELETE /api/v1/jobs/{fp}            cancel a job
+//	GET    /api/v1/jobs/{fp}/trace      Perfetto trace (re-runs the job traced)
+//	GET    /api/v1/events               SSE: the global job event firehose
+//
+// Submissions are deduplicated by content identity, so the API is safe
+// to retry: re-POSTing a spec returns the existing record (200) instead
+// of creating a duplicate (201).
+func NewServer(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("POST /api/v1/compact", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Compact()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("POST /api/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec exp.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, fmt.Errorf("api: bad sweep spec: %w", err))
+			return
+		}
+		st, created, err := s.SubmitSweep(spec)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sweeps())
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Sweep(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /api/v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CancelSweep(r.PathValue("id")); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSweepEvents(s, w, r)
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/report.json", func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.SweepReport(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/report.html", func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.SweepHTML(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(b)
+	})
+
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, fmt.Errorf("api: bad job request: %w", err))
+			return
+		}
+		st, created, err := s.SubmitJob(req)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, st)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Job(r.PathValue("fp"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /api/v1/jobs/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CancelJob(r.PathValue("fp")); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{fp}/trace", func(w http.ResponseWriter, r *http.Request) {
+		serveTrace(s, w, r)
+	})
+
+	mux.HandleFunc("GET /api/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		serveFirehose(s, w, r)
+	})
+
+	return mux
+}
+
+// serveFirehose streams every job lifecycle event as SSE until the
+// client disconnects or the daemon shuts its bus down.
+func serveFirehose(s *Service, w http.ResponseWriter, r *http.Request) {
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	sub := s.Subscribe(sseBuffer)
+	defer sub.Close()
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if err := sseEvent(w, fl, "job", ev); err != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveSweepEvents streams one sweep's job events (filtered from the
+// firehose by the sweep's cell fingerprints) and finishes with a "sweep"
+// event carrying the terminal status. A subscriber arriving after the
+// sweep finished receives just the terminal event.
+func serveSweepEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fps, err := s.sweepFPs(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	done, _ := s.SweepDone(id)
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	// Subscribe before the first status read: events between the
+	// snapshot and the subscription would otherwise be lost.
+	sub := s.Subscribe(sseBuffer)
+	defer sub.Close()
+
+	st, err := s.Sweep(id)
+	if err != nil {
+		return
+	}
+	if err := sseEvent(w, fl, "status", st); err != nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if !fps[ev.FP] {
+				continue
+			}
+			if err := sseEvent(w, fl, "job", ev); err != nil {
+				return
+			}
+		case <-done:
+			// Drain what the bus already delivered, then finish with the
+			// terminal status.
+			for {
+				select {
+				case ev, ok := <-sub.C():
+					if ok && fps[ev.FP] {
+						sseEvent(w, fl, "job", ev)
+						continue
+					}
+				default:
+				}
+				break
+			}
+			if st, err := s.Sweep(id); err == nil {
+				sseEvent(w, fl, "sweep", st)
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveTrace re-runs a known job with span retention enabled and writes
+// the Perfetto trace. Tracing is passive (results stay bit-identical),
+// but retaining spans costs memory, so traces are produced on demand
+// rather than stored.
+func serveTrace(s *Service, w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	job, err := s.jobFor(fp)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	m, rerr := runner.ExecTraced(job)
+	if rerr != nil {
+		httpError(w, fmt.Errorf("api: trace run failed: %w", rerr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", fp[:min(16, len(fp))]+".perfetto.json"))
+	if err := causal.WritePerfetto(w, m.Causal, machine.MsgKindName); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+const sseBuffer = 1024
+
+// sseStart switches the response into SSE mode.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "api: streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
+}
+
+// sseEvent writes one named SSE event with a JSON payload.
+func sseEvent(w http.ResponseWriter, fl http.Flusher, name string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// writeJSON writes an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError maps service errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}

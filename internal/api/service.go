@@ -1,0 +1,590 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/bus"
+	"lazyrc/internal/config"
+	"lazyrc/internal/exp"
+	"lazyrc/internal/runner"
+	"lazyrc/internal/store"
+)
+
+// ErrDraining is returned by submissions after shutdown has begun.
+var ErrDraining = errors.New("api: daemon is draining")
+
+// ErrNotFound is returned for unknown sweep or job identities.
+var ErrNotFound = errors.New("api: not found")
+
+// Service is the daemon's core: it owns the runner pool, the persistent
+// result store, and the event bus, and it tracks every submitted sweep
+// and job. HTTP handlers and tests talk to it directly; it has no
+// transport dependencies of its own.
+type Service struct {
+	rn *runner.Runner
+	st *store.Store // nil when running without persistence
+	b  *bus.Bus[runner.Event]
+
+	runCtx context.Context // parent of every submission's context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	sweeps   map[string]*sweepState
+	order    []string // sweep IDs in first-submission order
+	jobs     map[string]*jobState
+	jobOrder []string // job fingerprints in first-submission order
+}
+
+// sweepState is one sweep's record. status is mutated under Service.mu;
+// done closes exactly once when the sweep reaches a terminal state, after
+// which reportJSON/reportHTML are immutable.
+type sweepState struct {
+	status SweepStatus
+	// fps is the sweep's cell identity set; doneFPs the subset that has
+	// reached a terminal state. Counter attribution stops at the first
+	// terminal event per fingerprint, so the evaluator's post-sweep memo
+	// reads (which re-submit every cell and resolve as dedup) do not
+	// double-count.
+	fps     map[string]bool
+	doneFPs map[string]bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	reportJSON []byte // stable report, indented JSON
+	reportHTML []byte // self-contained HTML rendering
+}
+
+// jobState is one directly submitted job's record.
+type jobState struct {
+	job    runner.Job
+	status JobStatus
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewService builds a service executing on a pool of the given size,
+// persisting through st (nil disables persistence). The bus, runner, and
+// submission registries start empty; Close tears them down.
+func NewService(workers int, st *store.Store) *Service {
+	var rstore runner.ResultStore
+	if st != nil {
+		rstore = st
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		rn:     runner.New(workers, rstore),
+		st:     st,
+		b:      bus.New[runner.Event](),
+		runCtx: ctx,
+		cancel: cancel,
+		sweeps: make(map[string]*sweepState),
+		jobs:   make(map[string]*jobState),
+	}
+	s.rn.Emit = s.onEvent
+	return s
+}
+
+// Runner exposes the shared pool (tests inspect its Meta).
+func (s *Service) Runner() *runner.Runner { return s.rn }
+
+// Subscribe attaches an event-stream subscriber to the daemon's bus.
+func (s *Service) Subscribe(buffer int) *bus.Sub[runner.Event] {
+	return s.b.Subscribe(buffer)
+}
+
+// onEvent is the runner's Emit hook: every job lifecycle event is fanned
+// out to bus subscribers and folded into the counters of every live
+// sweep whose cell set contains the event's fingerprint.
+func (s *Service) onEvent(ev runner.Event) {
+	s.b.Publish(ev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		if sw.status.Terminal() || !sw.fps[ev.FP] || sw.doneFPs[ev.FP] {
+			continue
+		}
+		switch ev.Kind {
+		case runner.EventRunning:
+			sw.status.Executed++
+		case runner.EventCached:
+			sw.status.FromCache++
+			sw.doneFPs[ev.FP] = true
+		case runner.EventDedup:
+			sw.status.Deduped++
+			sw.doneFPs[ev.FP] = true
+		case runner.EventDone:
+			sw.doneFPs[ev.FP] = true
+		case runner.EventFailed:
+			sw.status.Failed++
+			sw.doneFPs[ev.FP] = true
+		case runner.EventCanceled:
+			sw.doneFPs[ev.FP] = true
+		}
+		sw.status.Completed = len(sw.doneFPs)
+	}
+}
+
+// SubmitSweep registers a sweep for execution and returns its status.
+// Submission is singleflight on the sweep's content identity: concurrent
+// or repeated submissions of the same normalized spec share one record
+// (and the cells themselves are further deduplicated per fingerprint by
+// the runner, so even distinct overlapping sweeps simulate a shared cell
+// once). The bool reports whether this call created the sweep.
+func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return SweepStatus{}, false, err
+	}
+	jobs, err := norm.Jobs()
+	if err != nil {
+		return SweepStatus{}, false, err
+	}
+	id := norm.ID()
+
+	s.mu.Lock()
+	if sw, ok := s.sweeps[id]; ok {
+		st := sw.status
+		s.mu.Unlock()
+		return st, false, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return SweepStatus{}, false, ErrDraining
+	}
+	ctx, cancel := context.WithCancel(s.runCtx)
+	sw := &sweepState{
+		status: SweepStatus{
+			ID:    id,
+			State: StateQueued,
+			Spec:  norm,
+			Jobs:  len(jobs),
+		},
+		fps:     make(map[string]bool, len(jobs)),
+		doneFPs: make(map[string]bool, len(jobs)),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	for _, j := range jobs {
+		sw.fps[j.Fingerprint()] = true
+	}
+	s.sweeps[id] = sw
+	s.order = append(s.order, id)
+	st := sw.status
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runSweep(ctx, sw, norm)
+	return st, true, nil
+}
+
+// runSweep executes one sweep to a terminal state.
+func (s *Service) runSweep(ctx context.Context, sw *sweepState, spec exp.Spec) {
+	defer s.wg.Done()
+	defer close(sw.done)
+
+	s.mu.Lock()
+	sw.status.State = StateRunning
+	s.mu.Unlock()
+
+	fail := func(err error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sw.status.State = StateFailed
+		sw.status.Error = err.Error()
+	}
+
+	e, err := spec.Evaluator()
+	if err != nil {
+		fail(err)
+		return
+	}
+	e.R = s.rn
+	e.Ctx = ctx
+
+	// Fan the whole matrix out to the pool, then read every cell into the
+	// evaluator's memo (in-process dedup makes the reads free) so the
+	// report renders from a complete, deterministic cell set.
+	cells := spec.Cells()
+	e.Prefetch(cells)
+	for _, c := range cells {
+		e.Get(c[0], c[1], c[2])
+	}
+
+	var firstFail error
+	canceled := ctx.Err() != nil
+	for _, r := range e.Runs() {
+		if r.VerifyErr != nil && firstFail == nil {
+			firstFail = fmt.Errorf("%s/%s/%s: %w", r.Config, r.App, r.Proto, r.VerifyErr)
+		}
+	}
+
+	// Render both report forms now, while the evaluator is hot: clients
+	// fetch bytes, never recompute. The stable form drops the runner's
+	// volatile provenance, so a warm re-submission (or a re-submission
+	// after a daemon restart over the same store) serves bit-identical
+	// bytes.
+	var jsonBuf, htmlBuf bytes.Buffer
+	rep := e.Report().Stable()
+	jsonErr := exp.WriteReportJSON(&jsonBuf, rep)
+	htmlErr := exp.WriteHTML(&htmlBuf, rep)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw.reportJSON = jsonBuf.Bytes()
+	sw.reportHTML = htmlBuf.Bytes()
+	switch {
+	case canceled:
+		sw.status.State = StateCanceled
+		sw.status.Error = "canceled: " + context.Cause(ctx).Error()
+	case sw.status.Failed > 0 && firstFail != nil:
+		sw.status.State = StateFailed
+		sw.status.Error = firstFail.Error()
+	case jsonErr != nil || htmlErr != nil:
+		sw.status.State = StateFailed
+		sw.status.Error = errors.Join(jsonErr, htmlErr).Error()
+	default:
+		sw.status.State = StateDone
+		if firstFail != nil {
+			// Deterministic verification failures are results, not crashes:
+			// the sweep is done, the error is advisory.
+			sw.status.Error = firstFail.Error()
+		}
+	}
+}
+
+// Sweep returns a sweep's current status.
+func (s *Service) Sweep(id string) (SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return SweepStatus{}, ErrNotFound
+	}
+	return sw.status, nil
+}
+
+// Sweeps lists all sweeps in first-submission order.
+func (s *Service) Sweeps() []SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepStatus, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.sweeps[id].status
+	}
+	return out
+}
+
+// CancelSweep cancels a sweep's submission context. In-flight
+// simulations stop cooperatively; already-terminal sweeps are unchanged.
+func (s *Service) CancelSweep(id string) error {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	sw.cancel()
+	return nil
+}
+
+// SweepDone returns a channel closed when the sweep reaches a terminal
+// state.
+func (s *Service) SweepDone(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return sw.done, nil
+}
+
+// sweepFPs snapshots a sweep's cell identity set (for SSE filtering).
+func (s *Service) sweepFPs(id string) (map[string]bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	fps := make(map[string]bool, len(sw.fps))
+	for fp := range sw.fps {
+		fps[fp] = true
+	}
+	return fps, nil
+}
+
+// SweepReport returns the finished sweep's stable report JSON.
+func (s *Service) SweepReport(id string) ([]byte, error) {
+	return s.sweepBytes(id, func(sw *sweepState) []byte { return sw.reportJSON })
+}
+
+// SweepHTML returns the finished sweep's HTML report.
+func (s *Service) SweepHTML(id string) ([]byte, error) {
+	return s.sweepBytes(id, func(sw *sweepState) []byte { return sw.reportHTML })
+}
+
+func (s *Service) sweepBytes(id string, pick func(*sweepState) []byte) ([]byte, error) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	select {
+	case <-sw.done:
+	default:
+		return nil, fmt.Errorf("api: sweep %s has not finished", id)
+	}
+	b := pick(sw)
+	if len(b) == 0 {
+		return nil, fmt.Errorf("api: sweep %s produced no report", id)
+	}
+	return b, nil
+}
+
+// materializeJob turns a wire job request into a runner job, using the
+// exact configuration path sweep cells use so fingerprints coincide.
+func materializeJob(req JobRequest) (runner.Job, error) {
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "small"
+	}
+	scale, err := apps.ParseScale(scaleName)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if _, err := apps.New(req.App, scale); err != nil {
+		return runner.Job{}, err
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 64
+	}
+	cfg, err := config.Preset(req.Preset, procs)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	cfg.CacheSize = exp.CacheForScale(scale)
+	cfg.Seed = req.Seed
+	if err := cfg.Validate(); err != nil {
+		return runner.Job{}, err
+	}
+	return runner.Job{App: req.App, Scale: scale, Proto: req.Proto, Cfg: cfg}, nil
+}
+
+// SubmitJob registers one job for execution and returns its status.
+// Like sweeps, submission is singleflight on the job's fingerprint. The
+// bool reports whether this call created the job.
+func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
+	job, err := materializeJob(req)
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+	fp := job.Fingerprint()
+
+	s.mu.Lock()
+	if js, ok := s.jobs[fp]; ok {
+		st := js.status
+		s.mu.Unlock()
+		return st, false, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, false, ErrDraining
+	}
+	ctx, cancel := context.WithCancel(s.runCtx)
+	js := &jobState{
+		job: job,
+		status: JobStatus{
+			FP:    fp,
+			State: StateQueued,
+			App:   job.App,
+			Scale: job.Scale.String(),
+			Proto: job.Proto,
+		},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	s.jobs[fp] = js
+	s.jobOrder = append(s.jobOrder, fp)
+	st := js.status
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		defer close(js.done)
+		s.mu.Lock()
+		js.status.State = StateRunning
+		s.mu.Unlock()
+		res := s.rn.Do(ctx, job)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch {
+		case res.Canceled:
+			js.status.State = StateCanceled
+			js.status.Error = res.Failure
+		case res.Failed():
+			js.status.State = StateFailed
+			js.status.Error = res.Failure
+		default:
+			js.status.State = StateDone
+			js.status.Cached = res.Cached
+			js.status.Result = res
+		}
+	}()
+	return st, true, nil
+}
+
+// Job returns a job's current status.
+func (s *Service) Job(fp string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[fp]
+	if !ok {
+		// A job never submitted through this daemon may still live in the
+		// persistent store (written by paperbench or a prior daemon);
+		// serve it as done/cached.
+		if s.st != nil {
+			if res, ok := s.st.Get(fp); ok {
+				return JobStatus{
+					FP: fp, State: StateDone, App: res.App,
+					Scale: res.Scale, Proto: res.Proto,
+					Cached: true, Result: res,
+				}, nil
+			}
+		}
+		return JobStatus{}, ErrNotFound
+	}
+	return js.status, nil
+}
+
+// Jobs lists all directly submitted jobs in first-submission order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.jobOrder))
+	for i, fp := range s.jobOrder {
+		out[i] = s.jobs[fp].status
+	}
+	return out
+}
+
+// CancelJob cancels a directly submitted job.
+func (s *Service) CancelJob(fp string) error {
+	s.mu.Lock()
+	js, ok := s.jobs[fp]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	js.cancel()
+	return nil
+}
+
+// JobDone returns a channel closed when the job reaches a terminal state.
+func (s *Service) JobDone(fp string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[fp]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return js.done, nil
+}
+
+// jobFor returns the runner job of a known fingerprint (for trace
+// re-execution).
+func (s *Service) jobFor(fp string) (runner.Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if js, ok := s.jobs[fp]; ok {
+		return js.job, nil
+	}
+	// A sweep cell: reconstruct the job from any sweep containing it.
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		if !sw.fps[fp] {
+			continue
+		}
+		jobs, err := sw.status.Spec.Jobs()
+		if err != nil {
+			continue
+		}
+		for _, j := range jobs {
+			if j.Fingerprint() == fp {
+				return j, nil
+			}
+		}
+	}
+	return runner.Job{}, ErrNotFound
+}
+
+// Stats snapshots the daemon's counters.
+func (s *Service) Stats() StatsResponse {
+	resp := StatsResponse{
+		Runner: s.rn.Meta(),
+		Bus:    s.b.Stats(),
+	}
+	if s.st != nil {
+		st := s.st.Stats()
+		resp.Store = &st
+	}
+	s.mu.Lock()
+	resp.Sweeps = len(s.sweeps)
+	resp.Jobs = len(s.jobs)
+	s.mu.Unlock()
+	return resp
+}
+
+// Compact runs a store compaction pass (an error without persistence).
+func (s *Service) Compact() (store.Stats, error) {
+	if s.st == nil {
+		return store.Stats{}, errors.New("api: no persistent store configured")
+	}
+	return s.st.Compact()
+}
+
+// Drain stops accepting new submissions and waits for in-flight sweeps
+// and jobs to finish. If ctx expires first, everything still running is
+// canceled (cooperatively, on the simulated clock) and Drain waits for
+// the abandoned work to unwind before returning ctx's error.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel()
+		<-finished
+	}
+	return err
+}
+
+// Close drains (bounded by ctx) and then shuts the event bus down,
+// releasing every SSE subscriber. The store is the caller's to close —
+// the service does not own its lifetime.
+func (s *Service) Close(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.cancel()
+	s.b.Close()
+	return err
+}

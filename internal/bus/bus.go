@@ -1,0 +1,140 @@
+// Package bus is the daemon's in-process pub-sub fabric: a single
+// publisher stream fanned out to any number of subscribers, each behind
+// its own bounded buffer. Publishing never blocks — a subscriber that
+// cannot keep up (a stalled SSE client, a dead TCP peer) loses events,
+// not the publisher's time, and every loss is counted against that
+// subscriber so operators can see who is slow.
+//
+// The runner's job lifecycle events flow through a Bus[runner.Event] in
+// lrcsimd; the type is generic because the bus logic is independent of
+// the payload.
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus fans values out to subscribers. Safe for concurrent use by any
+// number of publishers and subscribers. The zero value is not usable;
+// call New.
+type Bus[T any] struct {
+	mu        sync.Mutex
+	subs      map[*Sub[T]]struct{}
+	closed    bool
+	published uint64
+	dropped   uint64
+}
+
+// New returns an empty bus.
+func New[T any]() *Bus[T] {
+	return &Bus[T]{subs: make(map[*Sub[T]]struct{})}
+}
+
+// Subscribe registers a new subscriber with the given buffer capacity
+// (minimum 1). Events published after Subscribe returns are delivered in
+// publication order until the subscriber's buffer is full; overflow is
+// dropped and counted. The caller must drain C() and call Close when
+// done, or the buffer fills and the subscriber goes deaf.
+func (b *Bus[T]) Subscribe(buffer int) *Sub[T] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Sub[T]{b: b, ch: make(chan T, buffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// A subscription to a closed bus yields an already-closed
+		// channel: ranges terminate immediately instead of hanging.
+		close(s.ch)
+		s.closed = true
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Publish delivers v to every current subscriber without blocking.
+// Subscribers whose buffers are full miss this event and have their drop
+// counter incremented. Publishing to a closed bus is a no-op.
+func (b *Bus[T]) Publish(v T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.published++
+	for s := range b.subs {
+		select {
+		case s.ch <- v:
+		default:
+			atomic.AddUint64(&s.dropped, 1)
+			b.dropped++
+		}
+	}
+}
+
+// Close shuts the bus down: all subscriber channels are closed (after
+// any buffered events drain to their readers) and future Publish and
+// Subscribe calls become no-ops.
+func (b *Bus[T]) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.closed = true
+		close(s.ch)
+	}
+	b.subs = make(map[*Sub[T]]struct{})
+}
+
+// Stats is a snapshot of the bus's fanout health.
+type Stats struct {
+	// Subscribers is the number of currently attached subscribers.
+	Subscribers int `json:"subscribers"`
+	// Published counts Publish calls since New.
+	Published uint64 `json:"published"`
+	// Dropped counts deliveries lost to full subscriber buffers,
+	// summed over all subscribers (including departed ones).
+	Dropped uint64 `json:"dropped"`
+}
+
+// Stats snapshots the bus counters.
+func (b *Bus[T]) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Subscribers: len(b.subs), Published: b.published, Dropped: b.dropped}
+}
+
+// Sub is one subscription: a bounded buffered view of the publication
+// stream.
+type Sub[T any] struct {
+	b       *Bus[T]
+	ch      chan T
+	dropped uint64
+	closed  bool
+}
+
+// C is the subscription's delivery channel. It is closed when either the
+// subscriber or the bus closes.
+func (s *Sub[T]) C() <-chan T { return s.ch }
+
+// Dropped reports how many events this subscriber has missed to a full
+// buffer.
+func (s *Sub[T]) Dropped() uint64 { return atomic.LoadUint64(&s.dropped) }
+
+// Close detaches the subscriber and closes its channel. Idempotent, and
+// safe to race with Bus.Close.
+func (s *Sub[T]) Close() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.b.subs, s)
+	close(s.ch)
+}

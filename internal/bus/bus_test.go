@@ -1,0 +1,117 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFanoutDeliversInOrder(t *testing.T) {
+	b := New[int]()
+	a, c := b.Subscribe(16), b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(i)
+	}
+	b.Close()
+	for _, sub := range []*Sub[int]{a, c} {
+		i := 0
+		for v := range sub.C() {
+			if v != i {
+				t.Fatalf("got %d at position %d", v, i)
+			}
+			i++
+		}
+		if i != 10 {
+			t.Fatalf("subscriber received %d of 10 events", i)
+		}
+	}
+	if st := b.Stats(); st.Published != 10 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSlowSubscriberDropsAreCounted(t *testing.T) {
+	b := New[int]()
+	slow := b.Subscribe(2)
+	fast := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(i)
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("slow subscriber dropped %d, want 8", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", got)
+	}
+	if st := b.Stats(); st.Dropped != 8 {
+		t.Fatalf("bus-wide dropped = %d, want 8", st.Dropped)
+	}
+	// The slow subscriber keeps the oldest events that fit, not a
+	// corrupted stream: it sees 0, 1 and then the close.
+	b.Close()
+	var got []int
+	for v := range slow.C() {
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("slow subscriber saw %v", got)
+	}
+}
+
+func TestSubscriberCloseDetaches(t *testing.T) {
+	b := New[int]()
+	s := b.Subscribe(4)
+	s.Close()
+	s.Close() // idempotent
+	b.Publish(1)
+	if _, ok := <-s.C(); ok {
+		t.Fatal("closed subscriber received an event")
+	}
+	if st := b.Stats(); st.Subscribers != 0 || st.Dropped != 0 {
+		t.Fatalf("stats after detach: %+v", st)
+	}
+}
+
+func TestSubscribeAfterCloseYieldsClosedChannel(t *testing.T) {
+	b := New[int]()
+	b.Close()
+	b.Close() // idempotent
+	s := b.Subscribe(4)
+	if _, ok := <-s.C(); ok {
+		t.Fatal("subscription to closed bus delivered an event")
+	}
+	b.Publish(1) // no-op, must not panic
+	s.Close()    // idempotent with the bus close
+}
+
+// TestConcurrentPublishSubscribe exercises the locking under -race:
+// publishers, subscribers attaching/detaching, and a closing bus.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New[int]()
+	var pubs, subs sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(i)
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		subs.Add(1)
+		go func(detachEarly bool) {
+			defer subs.Done()
+			sub := b.Subscribe(8)
+			n := 0
+			for range sub.C() {
+				if n++; detachEarly && n == 10 {
+					break
+				}
+			}
+			sub.Close()
+		}(s%2 == 0)
+	}
+	pubs.Wait()
+	b.Close()
+	subs.Wait()
+}

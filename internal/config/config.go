@@ -157,6 +157,22 @@ func Future(n int) Config {
 	return c
 }
 
+// Presets lists the named machine presets Preset accepts.
+func Presets() []string { return []string{"default", "future"} }
+
+// Preset returns a named machine preset — the serialization-friendly
+// form used by submitted job and sweep specs, where a client names the
+// machine ("default", "future") instead of shipping a parameter table.
+func Preset(name string, procs int) (Config, error) {
+	switch name {
+	case "", "default":
+		return Default(procs), nil
+	case "future":
+		return Future(procs), nil
+	}
+	return Config{}, fmt.Errorf("config: unknown preset %q (known: %v)", name, Presets())
+}
+
 // WordSize is the machine word (and per-word dirty-bit granularity) in
 // bytes. Shared data is allocated at this alignment.
 const WordSize = 8

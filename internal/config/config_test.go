@@ -100,3 +100,24 @@ func TestDerivedQuantities(t *testing.T) {
 		t.Errorf("Lines = %d, want 1024", c.Lines())
 	}
 }
+
+func TestPresetNames(t *testing.T) {
+	for _, name := range Presets() {
+		c, err := Preset(name, 16)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+	if c, err := Preset("", 16); err != nil || c != Default(16) {
+		t.Fatalf("empty preset: %+v, %v", c, err)
+	}
+	if c, err := Preset("future", 16); err != nil || c != Future(16) {
+		t.Fatalf("future preset: %+v, %v", c, err)
+	}
+	if _, err := Preset("nope", 16); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ type Ablation struct {
 // protocols always yield performance improvements" — predicts the ratio
 // crosses from >1 (lazier loses) toward ≤1 (lazier wins) when the
 // overlap is taken away.
-func LazierUnderSoftwareCoherence(rn *runner.Runner, scale apps.Scale, procs int, appName string) string {
+func LazierUnderSoftwareCoherence(ctx context.Context, rn *runner.Runner, scale apps.Scale, procs int, appName string) string {
 	var jobs []runner.Job
 	for _, software := range []bool{false, true} {
 		for _, proto := range []string{"lrc", "lrc-ext"} {
@@ -48,7 +49,7 @@ func LazierUnderSoftwareCoherence(rn *runner.Runner, scale apps.Scale, procs int
 			jobs = append(jobs, runner.Job{App: appName, Scale: scale, Proto: proto, Cfg: cfg})
 		}
 	}
-	results := rn.DoAll(jobs)
+	results := rn.DoAll(ctx, jobs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "DSM contrast: %s, %d procs (lazy-ext time / lazy time)\n", appName, procs)
@@ -147,7 +148,7 @@ func Ablations() []Ablation {
 
 // RunAblation executes one ablation sweep — all points concurrently on
 // the runner's pool — and renders it.
-func RunAblation(rn *runner.Runner, scale apps.Scale, procs int, ab Ablation) string {
+func RunAblation(ctx context.Context, rn *runner.Runner, scale apps.Scale, procs int, ab Ablation) string {
 	jobs := make([]runner.Job, len(ab.Points))
 	for i, v := range ab.Points {
 		cfg := config.Default(procs)
@@ -155,7 +156,7 @@ func RunAblation(rn *runner.Runner, scale apps.Scale, procs int, ab Ablation) st
 		ab.Mut(&cfg, v)
 		jobs[i] = runner.Job{App: ab.App, Scale: scale, Proto: ab.Proto, Cfg: cfg}
 	}
-	results := rn.DoAll(jobs)
+	results := rn.DoAll(ctx, jobs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation: %s\n", ab.Name)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,7 +40,7 @@ var DefaultChaosPlans = []ChaosPlan{
 //
 // The returned error is non-nil when any cell failed its oracle, so
 // callers (paperbench, CI) can turn a survived soak into an exit code.
-func RunChaos(rn *runner.Runner, scale apps.Scale, procs int, seed uint64, appNames, protos []string, plans []ChaosPlan) (string, error) {
+func RunChaos(ctx context.Context, rn *runner.Runner, scale apps.Scale, procs int, seed uint64, appNames, protos []string, plans []ChaosPlan) (string, error) {
 	if len(plans) == 0 {
 		plans = DefaultChaosPlans
 	}
@@ -62,7 +63,7 @@ func RunChaos(rn *runner.Runner, scale apps.Scale, procs int, seed uint64, appNa
 			}
 		}
 	}
-	results := rn.DoAll(jobs)
+	results := rn.DoAll(ctx, jobs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chaos soak: %s inputs, %d procs, seed %d\n", scale, procs, seed)

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -51,6 +52,10 @@ type Evaluator struct {
 	// R executes the evaluator's jobs. Nil means a serial runner with no
 	// store is created on first use.
 	R *runner.Runner
+	// Ctx, when non-nil, bounds every job this evaluator submits: the
+	// lrcsimd daemon sets it to the sweep's submission context so a
+	// cancelled sweep stops simulating promptly. Nil means Background.
+	Ctx context.Context
 
 	runs map[string]*Run
 }
@@ -78,6 +83,14 @@ func (e *Evaluator) engine() *runner.Runner {
 	return e.R
 }
 
+// ctx returns the evaluator's submission context.
+func (e *Evaluator) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
 // configFor materializes a named machine configuration. The cache size
 // scales with the input scale, following the paper's own methodology
 // (§3): inputs were shrunk to keep simulation tractable and caches were
@@ -85,14 +98,9 @@ func (e *Evaluator) engine() *runner.Runner {
 // conflict misses" — with full-size caches the data fits and the eviction
 // column of Table 2 (62.9% for barnes-hut!) vanishes.
 func (e *Evaluator) configFor(name string) config.Config {
-	var c config.Config
-	switch name {
-	case "default":
-		c = config.Default(e.Procs)
-	case "future":
-		c = config.Future(e.Procs)
-	default:
-		panic(fmt.Sprintf("exp: unknown config %q", name))
+	c, err := config.Preset(name, e.Procs)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
 	c.CacheSize = CacheForScale(e.Scale)
 	c.Seed = e.Seed
@@ -129,7 +137,7 @@ func (e *Evaluator) Get(cfgName, appName, proto string) *Run {
 	if r, ok := e.runs[key]; ok {
 		return r
 	}
-	res := e.engine().Do(e.Job(cfgName, appName, proto))
+	res := e.engine().Do(e.ctx(), e.Job(cfgName, appName, proto))
 	r := runFromResult(res, cfgName)
 	e.runs[key] = r
 	return r
@@ -164,7 +172,7 @@ func (e *Evaluator) Prefetch(cells [][3]string) {
 	for i, c := range cells {
 		jobs[i] = e.Job(c[0], c[1], c[2])
 	}
-	e.engine().DoAll(jobs)
+	e.engine().DoAll(e.ctx(), jobs)
 }
 
 // Runs returns all memoized runs, sorted by key (for reports).

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -130,7 +131,7 @@ func TestRunAblationExecutes(t *testing.T) {
 			ab = a
 		}
 	}
-	out := RunAblation(runner.New(2, nil), apps.Tiny, 4, ab)
+	out := RunAblation(context.Background(), runner.New(2, nil), apps.Tiny, 4, ab)
 	if !strings.Contains(out, "overlapped") || !strings.Contains(out, "after grant") {
 		t.Fatalf("ablation output malformed:\n%s", out)
 	}
@@ -189,7 +190,7 @@ func TestRunSweepExecutes(t *testing.T) {
 		Points: []int{64, 128},
 		Label:  func(v int) string { return "x" },
 	}
-	out := RunSweep(runner.New(4, nil), apps.Tiny, 4, sw)
+	out := RunSweep(context.Background(), runner.New(4, nil), apps.Tiny, 4, sw)
 	if !strings.Contains(out, "mp3d") || !strings.Contains(out, "gauss") {
 		t.Fatalf("sweep output malformed:\n%s", out)
 	}
@@ -211,7 +212,7 @@ func TestRunScalingExecutes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	out := RunScaling(runner.New(2, nil), apps.Tiny, "fft", []int{2, 4})
+	out := RunScaling(context.Background(), runner.New(2, nil), apps.Tiny, "fft", []int{2, 4})
 	if !strings.Contains(out, "ratio") || !strings.Contains(out, "fft") {
 		t.Fatalf("scaling output malformed:\n%s", out)
 	}
@@ -221,7 +222,7 @@ func TestLazierUnderSoftwareCoherence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	out := LazierUnderSoftwareCoherence(runner.New(4, nil), apps.Tiny, 8, "locusroute")
+	out := LazierUnderSoftwareCoherence(context.Background(), runner.New(4, nil), apps.Tiny, 8, "locusroute")
 	if !strings.Contains(out, "hardware protocol processor") ||
 		!strings.Contains(out, "software coherence") {
 		t.Fatalf("DSM contrast output malformed:\n%s", out)

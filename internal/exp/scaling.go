@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ import (
 // processors mean more sharers per weak block (larger notice fan-out)
 // but also more concurrency for the eager protocol's transfers to
 // serialize.
-func RunScaling(rn *runner.Runner, scale apps.Scale, appName string, counts []int) string {
+func RunScaling(ctx context.Context, rn *runner.Runner, scale apps.Scale, appName string, counts []int) string {
 	jobs := make([]runner.Job, 0, 2*len(counts))
 	for _, np := range counts {
 		cfg := config.Default(np)
@@ -26,7 +27,7 @@ func RunScaling(rn *runner.Runner, scale apps.Scale, appName string, counts []in
 			runner.Job{App: appName, Scale: scale, Proto: "erc", Cfg: cfg},
 			runner.Job{App: appName, Scale: scale, Proto: "lrc", Cfg: cfg})
 	}
-	results := rn.DoAll(jobs)
+	results := rn.DoAll(ctx, jobs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scaling: %s, %s inputs (execution cycles; ratio = lazy/eager)\n", appName, scale)

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/runner"
+)
+
+// Spec is a serializable description of one evaluation sweep — the unit a
+// client submits to the lrcsimd experiment service. It names what to run
+// (matrix targets and applications) and the machine envelope (scale,
+// processor count, seed); the service expands it into runner jobs via the
+// same TargetCellsFor/Evaluator path paperbench uses, so a submitted
+// sweep and a local paperbench invocation of the same shape produce the
+// same job fingerprints and therefore share the result store.
+type Spec struct {
+	// Targets are matrix-backed paperbench targets (table2..fig9, or
+	// "all"). Empty means "all".
+	Targets []string `json:"targets,omitempty"`
+	// Apps restricts the matrix to these applications. Empty means the
+	// paper's full application set.
+	Apps []string `json:"apps,omitempty"`
+	// Scale is the input scale name (tiny, small, medium, paper). Empty
+	// means small, matching paperbench's default.
+	Scale string `json:"scale,omitempty"`
+	// Procs is the simulated machine size. Zero means 64, the paper's.
+	Procs int `json:"procs,omitempty"`
+	// Seed is the base random seed stamped into every run.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Normalize validates the spec and returns its canonical form: defaults
+// filled in, targets and apps sorted and deduplicated, "all" collapsed.
+// Two specs that expand to the same evaluation normalize identically, so
+// Normalize().ID() is a stable sweep identity.
+func (s Spec) Normalize() (Spec, error) {
+	n := Spec{Scale: s.Scale, Procs: s.Procs, Seed: s.Seed}
+	if n.Scale == "" {
+		n.Scale = "small"
+	}
+	if _, err := apps.ParseScale(n.Scale); err != nil {
+		return Spec{}, err
+	}
+	if n.Procs == 0 {
+		n.Procs = 64
+	}
+	if n.Procs < 0 {
+		return Spec{}, fmt.Errorf("exp: negative proc count %d", n.Procs)
+	}
+
+	known := map[string]bool{"all": true}
+	for _, t := range matrixTargets {
+		known[t] = true
+	}
+	all := len(s.Targets) == 0
+	for _, t := range s.Targets {
+		if !known[t] {
+			return Spec{}, fmt.Errorf("exp: unknown sweep target %q (want all or one of %v)", t, matrixTargets)
+		}
+		if t == "all" {
+			all = true
+		}
+	}
+	if all {
+		n.Targets = []string{"all"}
+	} else {
+		n.Targets = dedupSorted(s.Targets)
+	}
+
+	knownApp := map[string]bool{}
+	for _, a := range apps.Names() {
+		knownApp[a] = true
+	}
+	for _, a := range s.Apps {
+		if !knownApp[a] {
+			return Spec{}, fmt.Errorf("exp: unknown application %q (want one of %v)", a, apps.Names())
+		}
+	}
+	n.Apps = dedupSorted(s.Apps)
+	if len(n.Apps) == len(AppOrder) {
+		n.Apps = nil // the full set is canonically "unrestricted"
+	}
+	return n, nil
+}
+
+func dedupSorted(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ID is the sweep's content identity: the hex SHA-256 of the normalized
+// spec's canonical JSON. Stable across field ordering, duplication, and
+// daemon restarts; it is the key under which the service deduplicates
+// concurrently submitted identical sweeps.
+func (s Spec) ID() string {
+	n, err := s.Normalize()
+	if err != nil {
+		n = s // an invalid spec still hashes deterministically
+	}
+	b, _ := json.Marshal(n)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cells expands the normalized spec into its (config, app, protocol)
+// cells. Call on a normalized spec; an invalid spec yields no cells.
+func (s Spec) Cells() [][3]string {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil
+	}
+	return TargetCellsFor(n.Targets, n.Apps)
+}
+
+// Jobs materializes the runner jobs of every cell, in cell order. The
+// fingerprints of these jobs are the sweep's result identity: they match
+// a paperbench run at the same scale/procs/seed exactly.
+func (s Spec) Jobs() ([]runner.Job, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	e, err := n.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	cells := TargetCellsFor(n.Targets, n.Apps)
+	jobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = e.Job(c[0], c[1], c[2])
+	}
+	return jobs, nil
+}
+
+// Evaluator builds an evaluator for the spec (no runner attached; set R
+// and Ctx before use).
+func (s Spec) Evaluator() (*Evaluator, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := apps.ParseScale(n.Scale)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEvaluator(sc, n.Procs)
+	e.Seed = n.Seed
+	return e, nil
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,7 +59,7 @@ var SweepApps = []string{"mp3d", "locusroute", "gauss"}
 // to the runner as one batch, so they execute concurrently on its worker
 // pool — and any point shared with another figure or a previous process
 // (via the runner's store) is never simulated twice.
-func RunSweep(rn *runner.Runner, scale apps.Scale, procs int, sw Sweep) string {
+func RunSweep(ctx context.Context, rn *runner.Runner, scale apps.Scale, procs int, sw Sweep) string {
 	// Plan the batch: two protocols per (app, point) cell, app-major, so
 	// cell (ai, pi) lands at results[(ai*len(Points)+pi)*2] (eager) and
 	// the slot after it (lazy).
@@ -72,7 +73,7 @@ func RunSweep(rn *runner.Runner, scale apps.Scale, procs int, sw Sweep) string {
 				runner.Job{App: appName, Scale: scale, Proto: "lrc", Cfg: cfg})
 		}
 	}
-	results := rn.DoAll(jobs)
+	results := rn.DoAll(ctx, jobs)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sensitivity: %s (lazy execution time / eager execution time)\n", sw.Name)

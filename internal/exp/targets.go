@@ -30,6 +30,16 @@ var matrixTargets = []string{
 // deduplicated list of (config, app, protocol) cells their rendering
 // consumes, in a deterministic order suitable for Evaluator.Prefetch.
 func TargetCells(targets []string) [][3]string {
+	return TargetCellsFor(targets, AppOrder)
+}
+
+// TargetCellsFor is TargetCells restricted to a subset of applications —
+// the expansion used by submitted sweep specs, which may scope the matrix
+// to a few apps. An empty app list means the full AppOrder.
+func TargetCellsFor(targets, appNames []string) [][3]string {
+	if len(appNames) == 0 {
+		appNames = AppOrder
+	}
 	want := map[string]bool{}
 	for _, t := range targets {
 		want[t] = true
@@ -42,7 +52,7 @@ func TargetCells(targets []string) [][3]string {
 			continue
 		}
 		spec := targetProtos[t]
-		for _, app := range AppOrder {
+		for _, app := range appNames {
 			for _, proto := range spec.protos {
 				cell := [3]string{spec.cfg, app, proto}
 				if !seen[cell] {
@@ -53,4 +63,12 @@ func TargetCells(targets []string) [][3]string {
 		}
 	}
 	return cells
+}
+
+// MatrixTargets returns the matrix-backed target names in planning order
+// (the submittable universe for sweep specs, excluding "all").
+func MatrixTargets() []string {
+	out := make([]string, len(matrixTargets))
+	copy(out, matrixTargets)
+	return out
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -29,8 +30,8 @@ type Result struct {
 	WriteCycles uint64 `json:"write_cycles"`
 	SyncCycles  uint64 `json:"sync_cycles"`
 
-	MissRate   float64                       `json:"miss_rate"`
-	MissShares [stats.NumMissKinds]float64   `json:"miss_shares"`
+	MissRate   float64                     `json:"miss_rate"`
+	MissShares [stats.NumMissKinds]float64 `json:"miss_shares"`
 
 	Msgs  uint64 `json:"network_msgs"`
 	Bytes uint64 `json:"network_bytes"`
@@ -87,6 +88,12 @@ type Result struct {
 	// Cached marks a result served from the store rather than simulated.
 	// Provenance only; never serialized, never rendered.
 	Cached bool `json:"-"`
+
+	// Canceled marks a submission abandoned by context cancellation —
+	// either before it started or stopped mid-simulation. Canceled
+	// results are never memoized or stored; a later submission of the
+	// same job re-executes it. Provenance only, like Cached.
+	Canceled bool `json:"-"`
 }
 
 // Failed reports whether the job crashed (as opposed to completing,
@@ -122,7 +129,82 @@ const (
 	watchdogQuiet = 200000
 )
 
-var simulate = func(j Job, res *Result) error {
+// cancelPollEvery is the simulated-cycle cadence at which a hooked run
+// checks its submission context; DefaultHeartbeatEvery is the default
+// cadence of progress heartbeats. Both fire as background engine events
+// (observers that mutate nothing), so a hooked run is bit-identical to
+// an unhooked one — pinned by TestHookedExecIsByteIdentical.
+const (
+	cancelPollEvery       = 4096
+	DefaultHeartbeatEvery = 1 << 18
+)
+
+// hooks carries the runner's per-execution instrumentation into the
+// simulation: a cancellation context polled on the simulated clock and a
+// heartbeat callback reporting the current cycle. The zero value (used
+// by plain Exec) installs nothing.
+type hooks struct {
+	ctx   context.Context
+	beat  func(cycle uint64)
+	every uint64 // heartbeat cadence in cycles; 0 = DefaultHeartbeatEvery
+}
+
+// active reports whether the hooks need the in-run poller at all.
+func (h hooks) active() bool {
+	return (h.ctx != nil && h.ctx.Done() != nil) || h.beat != nil
+}
+
+// canceled reports whether the submission context is dead.
+func (h hooks) canceled() bool {
+	return h.ctx != nil && h.ctx.Err() != nil
+}
+
+// install attaches the poll/heartbeat background prober to a built
+// machine. It reschedules itself every cancelPollEvery cycles; when the
+// context dies it stops the engine instead of rescheduling, and every
+// `every` cycles it reports the current cycle through beat.
+func (h hooks) install(m *machine.Machine) {
+	every := h.every
+	if every == 0 {
+		every = DefaultHeartbeatEvery
+	}
+	var nextBeat uint64 = every
+	var tick func()
+	tick = func() {
+		if h.canceled() {
+			m.Eng.Stop()
+			return
+		}
+		now := m.Eng.Now()
+		if h.beat != nil && now >= nextBeat {
+			h.beat(now)
+			for nextBeat <= now {
+				nextBeat += every
+			}
+		}
+		m.Eng.Background(now+cancelPollEvery, tick)
+	}
+	m.Eng.Background(m.Eng.Now()+cancelPollEvery, tick)
+}
+
+// canceledResult is the record returned for a submission abandoned
+// before (or while) executing.
+func canceledResult(fp string, j Job, cause error) *Result {
+	msg := "canceled"
+	if cause != nil {
+		msg = "canceled: " + cause.Error()
+	}
+	return &Result{
+		Fingerprint: fp,
+		App:         j.App,
+		Scale:       j.Scale.String(),
+		Proto:       j.Proto,
+		Failure:     msg,
+		Canceled:    true,
+	}
+}
+
+var simulate = func(j Job, res *Result, hk hooks) error {
 	app, err := apps.New(j.App, j.Scale)
 	if err != nil {
 		return err
@@ -150,7 +232,22 @@ var simulate = func(j Job, res *Result) error {
 	if j.Cfg.FaultPlan == "" {
 		preRun = nil
 	}
+	if hk.active() {
+		guard := preRun
+		preRun = func(m *machine.Machine) {
+			if guard != nil {
+				guard(m)
+			}
+			hk.install(m)
+		}
+	}
 	m, reg, verr := apps.RunTracedWith(j.Cfg, j.Proto, app, metricsInterval, preRun)
+	if m == nil {
+		// No machine means construction failed (unknown protocol, bad
+		// config): an execution failure, not a deterministic
+		// verification result.
+		return verr
+	}
 	if verr != nil {
 		res.VerifyErr = verr.Error()
 	}
@@ -191,7 +288,40 @@ var simulate = func(j Job, res *Result) error {
 // Exec runs one job synchronously. A panic anywhere inside the
 // simulation is captured into the result's Failure field — one crashing
 // run yields a failed-job record, not a dead sweep.
-func Exec(j Job) *Result {
+func Exec(j Job) *Result { return execWith(j, hooks{}) }
+
+// ExecTraced re-runs a job with full causal-span retention and returns
+// the finished machine, for on-demand trace export (the lrcsimd trace
+// endpoint). Tracing is passive — the simulated schedule is bit-identical
+// to an untraced run — but retained spans cost memory, so this path is
+// separate from the cached result pipeline. A panic is returned as an
+// error, not propagated.
+func ExecTraced(j Job) (m *machine.Machine, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	app, aerr := apps.New(j.App, j.Scale)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if verr := j.Cfg.Validate(); verr != nil {
+		return nil, verr
+	}
+	m, _, _ = apps.RunTracedWith(j.Cfg, j.Proto, app, metricsInterval,
+		func(m *machine.Machine) { m.EnableSpans(true, 0) })
+	if m == nil {
+		return nil, errors.New("runner: trace run produced no machine")
+	}
+	return m, nil
+}
+
+// execWith is Exec with the runner's per-execution hooks: a cancellation
+// context polled on the simulated clock and a heartbeat callback. A run
+// stopped by cancellation is marked Canceled (unless it had already
+// completed — a cancel that races a clean finish keeps the result).
+func execWith(j Job, hk hooks) *Result {
 	res := &Result{
 		Fingerprint: j.Fingerprint(),
 		App:         j.App,
@@ -204,9 +334,14 @@ func Exec(j Job) *Result {
 				res.Failure = fmt.Sprintf("panic: %v", p)
 			}
 		}()
-		if err := simulate(j, res); err != nil {
+		if err := simulate(j, res, hk); err != nil {
 			res.Failure = err.Error()
 		}
 	}()
+	if hk.canceled() && !res.Completed {
+		res.Canceled = true
+		res.Failure = "canceled: " + hk.ctx.Err().Error()
+		res.VerifyErr, res.CheckErr = "", ""
+	}
 	return res
 }

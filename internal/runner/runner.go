@@ -1,10 +1,28 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ResultStore is the persistence contract the runner reuses results
+// through: the flat JSONL Store in this package and the segment store in
+// internal/store both satisfy it. Implementations must be safe for
+// concurrent use.
+type ResultStore interface {
+	// Get returns the stored result for a fingerprint. The returned
+	// result must be private to the caller (annotating it must not
+	// mutate the store).
+	Get(fp string) (*Result, bool)
+	// Put records a completed result. Implementations must refuse
+	// failed results — caching a crash would make it permanent.
+	Put(r *Result) error
+	// Recovered reports how many corrupt entries the store dropped
+	// while loading (surfaced in the runner's execution record).
+	Recovered() int
+}
 
 // Runner executes jobs on a bounded worker pool, deduplicating by
 // fingerprint (two figures sharing a matrix point simulate it once, even
@@ -16,8 +34,22 @@ type Runner struct {
 	// workers; each call carries one complete line.
 	Progress func(string)
 
+	// Emit, when non-nil, receives every job lifecycle event (see
+	// EventKind for the state machine). Set before the first Do; calls
+	// may come from concurrent workers. The lrcsimd daemon points this
+	// at its pub-sub bus.
+	Emit func(Event)
+
+	// HeartbeatEvery is the simulated-cycle cadence of progress
+	// heartbeats from running jobs, delivered as EventHeartbeat through
+	// Emit. Zero selects DefaultHeartbeatEvery. Heartbeats (and the
+	// cancellation poll that shares their timer) are background engine
+	// events and do not perturb the simulation: results are bit-identical
+	// with and without them.
+	HeartbeatEvery uint64
+
 	workers int
-	store   *Store
+	store   ResultStore
 	sem     chan struct{}
 	start   time.Time
 
@@ -25,13 +57,17 @@ type Runner struct {
 	done     map[string]*Result
 	inflight map[string]chan struct{}
 	meta     Meta
+	eventSeq uint64
 }
 
 // Meta is the runner's execution record, attached to reports. Simulated,
 // CacheHits, CacheMisses, and FailedJobs are deterministic for a given
 // job set and cache state; Workers and WallMS are volatile provenance
 // (how the results were obtained, not what they are) and are the only
-// fields that may differ between a -j 1 and a -j 8 run.
+// fields that may differ between a -j 1 and a -j 8 run. Canceled counts
+// submissions abandoned by context cancellation — inherently volatile
+// (it depends on when the cancel landed) and therefore, like the wall
+// clock, excluded from Stable.
 type Meta struct {
 	Workers        int   `json:"workers"`
 	WallMS         int64 `json:"wall_ms"`
@@ -39,6 +75,7 @@ type Meta struct {
 	CacheHits      int   `json:"cache_hits"`
 	CacheMisses    int   `json:"cache_misses"`
 	FailedJobs     int   `json:"failed_jobs"`
+	Canceled       int   `json:"canceled,omitempty"`
 	CacheRecovered int   `json:"cache_recovered,omitempty"`
 }
 
@@ -47,12 +84,15 @@ type Meta struct {
 func (m Meta) Stable() Meta {
 	m.Workers = 0
 	m.WallMS = 0
+	m.Canceled = 0
 	return m
 }
 
 // New returns a runner with the given concurrency (minimum 1) and an
-// optional result store (nil disables caching).
-func New(workers int, store *Store) *Runner {
+// optional result store (nil disables caching). Pass an untyped nil for
+// "no store": a typed nil pointer inside a non-nil interface would be
+// dereferenced.
+func New(workers int, store ResultStore) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
@@ -72,12 +112,27 @@ func (r *Runner) Workers() int { return r.workers }
 // Do executes one job, blocking until its result is available. Results
 // are resolved in order: in-process memo, then in-flight duplicate, then
 // the store, then a worker slot. Safe for concurrent use.
-func (r *Runner) Do(job Job) *Result {
+//
+// Cancelling ctx abandons the submission promptly: a queued job returns
+// a Canceled result without executing, and a job already simulating is
+// stopped cooperatively (the engine halts at the next cancellation
+// poll). Canceled results are never memoized or stored, so a later
+// submission of the same fingerprint re-executes the job.
+func (r *Runner) Do(ctx context.Context, job Job) *Result {
 	fp := job.Fingerprint()
+	r.emit(EventQueued, fp, job, 0, "")
+	attached := false
 	for {
+		if err := ctx.Err(); err != nil {
+			res := canceledResult(fp, job, err)
+			r.emit(EventCanceled, fp, job, 0, res.Failure)
+			r.account(func(m *Meta) { m.Canceled++ })
+			return res
+		}
 		r.mu.Lock()
 		if res, ok := r.done[fp]; ok {
 			r.mu.Unlock()
+			r.emit(EventDedup, fp, job, 0, "")
 			return res
 		}
 		wait, ok := r.inflight[fp]
@@ -87,39 +142,24 @@ func (r *Runner) Do(job Job) *Result {
 			break
 		}
 		r.mu.Unlock()
-		<-wait
+		if !attached {
+			attached = true
+			r.emit(EventDedup, fp, job, 0, "")
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			// Keep looping: the top of the loop converts the
+			// cancellation into a Canceled result.
+		}
 	}
 
-	var res *Result
-	if r.store != nil {
-		if cached, ok := r.store.Get(fp); ok {
-			cached.Cached = true
-			res = cached
-			r.note(fmt.Sprintf("cached  %s", job))
-			r.account(func(m *Meta) { m.CacheHits++ })
-		}
-	}
-	if res == nil {
-		if r.store != nil {
-			r.account(func(m *Meta) { m.CacheMisses++ })
-		}
-		r.sem <- struct{}{}
-		r.note(fmt.Sprintf("running %s", job))
-		res = Exec(job)
-		<-r.sem
-		r.account(func(m *Meta) { m.Simulated++ })
-		if res.Failed() {
-			r.note(fmt.Sprintf("FAILED  %s: %s", job, res.Failure))
-			r.account(func(m *Meta) { m.FailedJobs++ })
-		} else if r.store != nil {
-			if err := r.store.Put(res); err != nil {
-				r.note(fmt.Sprintf("cache write failed: %v", err))
-			}
-		}
-	}
+	res := r.lead(ctx, fp, job)
 
 	r.mu.Lock()
-	r.done[fp] = res
+	if !res.Canceled {
+		r.done[fp] = res
+	}
 	wait := r.inflight[fp]
 	delete(r.inflight, fp)
 	r.mu.Unlock()
@@ -127,17 +167,74 @@ func (r *Runner) Do(job Job) *Result {
 	return res
 }
 
+// lead resolves a fingerprint this goroutine owns: store lookup, then a
+// worker slot and a simulation. The caller resolves the in-flight
+// channel afterwards.
+func (r *Runner) lead(ctx context.Context, fp string, job Job) *Result {
+	if r.store != nil {
+		if cached, ok := r.store.Get(fp); ok {
+			cached.Cached = true
+			r.note(fmt.Sprintf("cached  %s", job))
+			r.emit(EventCached, fp, job, cached.ExecCycles, "")
+			r.account(func(m *Meta) { m.CacheHits++ })
+			return cached
+		}
+		r.account(func(m *Meta) { m.CacheMisses++ })
+	}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		res := canceledResult(fp, job, ctx.Err())
+		r.emit(EventCanceled, fp, job, 0, res.Failure)
+		r.account(func(m *Meta) { m.Canceled++ })
+		return res
+	}
+	r.note(fmt.Sprintf("running %s", job))
+	r.emit(EventRunning, fp, job, 0, "")
+	hk := hooks{
+		ctx:   ctx,
+		every: r.HeartbeatEvery,
+		beat:  func(cycle uint64) { r.emit(EventHeartbeat, fp, job, cycle, "") },
+	}
+	if r.Emit == nil {
+		hk.beat = nil
+	}
+	res := execWith(job, hk)
+	<-r.sem
+	r.account(func(m *Meta) { m.Simulated++ })
+	switch {
+	case res.Canceled:
+		r.note(fmt.Sprintf("canceled %s", job))
+		r.emit(EventCanceled, fp, job, 0, res.Failure)
+		r.account(func(m *Meta) { m.Canceled++ })
+	case res.Failed():
+		r.note(fmt.Sprintf("FAILED  %s: %s", job, res.Failure))
+		r.emit(EventFailed, fp, job, 0, res.Failure)
+		r.account(func(m *Meta) { m.FailedJobs++ })
+	default:
+		if r.store != nil {
+			if err := r.store.Put(res); err != nil {
+				r.note(fmt.Sprintf("cache write failed: %v", err))
+			}
+		}
+		r.emit(EventDone, fp, job, res.ExecCycles, "")
+	}
+	return res
+}
+
 // DoAll runs a batch of jobs concurrently (bounded by the pool size) and
 // returns their results in the order given, so rendering from a DoAll
-// slice is deterministic regardless of completion order.
-func (r *Runner) DoAll(jobs []Job) []*Result {
+// slice is deterministic regardless of completion order. On context
+// cancellation it still returns a full slice promptly — unstarted jobs
+// come back as Canceled results.
+func (r *Runner) DoAll(ctx context.Context, jobs []Job) []*Result {
 	out := make([]*Result, len(jobs))
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			out[i] = r.Do(j)
+			out[i] = r.Do(ctx, j)
 		}(i, j)
 	}
 	wg.Wait()

@@ -2,10 +2,12 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/config"
@@ -58,7 +60,7 @@ func TestExecCapturesErrors(t *testing.T) {
 func TestExecCapturesPanics(t *testing.T) {
 	orig := simulate
 	defer func() { simulate = orig }()
-	simulate = func(j Job, res *Result) error { panic("simulated crash") }
+	simulate = func(j Job, res *Result, hk hooks) error { panic("simulated crash") }
 
 	res := Exec(tinyJob("gauss", "lrc"))
 	if !res.Failed() || !strings.Contains(res.Failure, "simulated crash") {
@@ -68,7 +70,7 @@ func TestExecCapturesPanics(t *testing.T) {
 	// results come back failed (this stub crashes everything) rather
 	// than the batch dying.
 	r := New(4, nil)
-	results := r.DoAll([]Job{tinyJob("gauss", "lrc"), tinyJob("fft", "lrc")})
+	results := r.DoAll(context.Background(), []Job{tinyJob("gauss", "lrc"), tinyJob("fft", "lrc")})
 	for _, res := range results {
 		if res == nil || !res.Failed() {
 			t.Fatalf("batch result not a failure record: %+v", res)
@@ -83,7 +85,7 @@ func TestRunnerDeduplicatesByFingerprint(t *testing.T) {
 	r := New(4, nil)
 	job := tinyJob("gauss", "sc")
 	jobs := []Job{job, job, job, tinyJob("fft", "sc")}
-	results := r.DoAll(jobs)
+	results := r.DoAll(context.Background(), jobs)
 	if results[0] != results[1] || results[1] != results[2] {
 		t.Fatal("duplicate jobs produced distinct result objects")
 	}
@@ -91,7 +93,7 @@ func TestRunnerDeduplicatesByFingerprint(t *testing.T) {
 		t.Fatalf("simulated = %d, want 2 (deduplication failed)", m.Simulated)
 	}
 	// The memo serves later Do calls without re-simulation.
-	if got := r.Do(job); got != results[0] {
+	if got := r.Do(context.Background(), job); got != results[0] {
 		t.Fatal("memoized result not reused")
 	}
 	if m := r.Meta(); m.Simulated != 2 {
@@ -105,7 +107,7 @@ func TestRunnerConcurrencyBound(t *testing.T) {
 	var mu sync.Mutex
 	active, peak := 0, 0
 	gate := make(chan struct{})
-	simulate = func(j Job, res *Result) error {
+	simulate = func(j Job, res *Result, hk hooks) error {
 		mu.Lock()
 		active++
 		if active > peak {
@@ -127,7 +129,7 @@ func TestRunnerConcurrencyBound(t *testing.T) {
 		jobs[i] = j
 	}
 	done := make(chan []*Result)
-	go func() { done <- r.DoAll(jobs) }()
+	go func() { done <- r.DoAll(context.Background(), jobs) }()
 	close(gate)
 	<-done
 	if peak > 2 {
@@ -157,8 +159,8 @@ func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	serial := marshal(New(1, nil).DoAll(jobs))
-	parallel := marshal(New(8, nil).DoAll(jobs))
+	serial := marshal(New(1, nil).DoAll(context.Background(), jobs))
+	parallel := marshal(New(8, nil).DoAll(context.Background(), jobs))
 	if !bytes.Equal(serial, parallel) {
 		t.Fatal("results differ between 1 and 8 workers")
 	}
@@ -177,8 +179,8 @@ func TestMetricsDigestIdenticalAcrossWorkerCounts(t *testing.T) {
 		tinyJob("gauss", "sc"), tinyJob("gauss", "lrc"),
 		tinyJob("fft", "lrc"), tinyJob("mp3d", "erc"),
 	}
-	serial := New(1, nil).DoAll(jobs)
-	parallel := New(8, nil).DoAll(jobs)
+	serial := New(1, nil).DoAll(context.Background(), jobs)
+	parallel := New(8, nil).DoAll(context.Background(), jobs)
 	for i := range jobs {
 		s, p := serial[i], parallel[i]
 		if s.MetricsDigest == "" {
@@ -204,9 +206,9 @@ func TestSpanDigestIdenticalAcrossWorkerCounts(t *testing.T) {
 		tinyJob("gauss", "sc"), tinyJob("gauss", "lrc"),
 		tinyJob("fft", "lrc"), tinyJob("mp3d", "erc"),
 	}
-	serial := New(1, nil).DoAll(jobs)
-	parallel := New(8, nil).DoAll(jobs)
-	rerun := New(1, nil).DoAll(jobs)
+	serial := New(1, nil).DoAll(context.Background(), jobs)
+	parallel := New(8, nil).DoAll(context.Background(), jobs)
+	rerun := New(1, nil).DoAll(context.Background(), jobs)
 	for i := range jobs {
 		s, p, r := serial[i], parallel[i], rerun[i]
 		if s.SpanDigest == "" || s.Spans == 0 {
@@ -220,6 +222,135 @@ func TestSpanDigestIdenticalAcrossWorkerCounts(t *testing.T) {
 		if s.SpanDigest != r.SpanDigest {
 			t.Fatalf("%s/%s: span digest differs across repeated seeded runs: %s vs %s",
 				s.App, s.Proto, s.SpanDigest, r.SpanDigest)
+		}
+	}
+}
+
+// TestDoCanceledBeforeStart: a dead context abandons the submission
+// without simulating, and the abandonment is not memoized — a later live
+// submission of the same job executes it.
+func TestDoCanceledBeforeStart(t *testing.T) {
+	r := New(2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := r.Do(ctx, tinyJob("gauss", "sc"))
+	if !res.Canceled || !res.Failed() {
+		t.Fatalf("pre-canceled Do returned %+v", res)
+	}
+	if m := r.Meta(); m.Simulated != 0 || m.Canceled != 1 {
+		t.Fatalf("meta after canceled Do: %+v", m)
+	}
+	if res := r.Do(context.Background(), tinyJob("gauss", "sc")); res.Canceled || res.Failed() {
+		t.Fatalf("live resubmission did not execute: %+v", res)
+	}
+	if m := r.Meta(); m.Simulated != 1 {
+		t.Fatalf("resubmission meta: %+v", m)
+	}
+}
+
+// TestDoAllReturnsPromptlyOnCancel: with in-flight jobs blocked on the
+// submission context, cancelling it drains the whole batch — running
+// jobs come back Canceled, queued jobs never start.
+func TestDoAllReturnsPromptlyOnCancel(t *testing.T) {
+	orig := simulate
+	defer func() { simulate = orig }()
+	started := make(chan struct{}, 16)
+	simulate = func(j Job, res *Result, hk hooks) error {
+		started <- struct{}{}
+		<-hk.ctx.Done() // cooperative: block until canceled
+		return nil
+	}
+
+	r := New(2, nil)
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		j := tinyJob("gauss", "sc")
+		j.Cfg.Seed = uint64(i + 1)
+		jobs[i] = j
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []*Result)
+	go func() { done <- r.DoAll(ctx, jobs) }()
+	<-started
+	<-started // both workers occupied
+	cancel()
+	select {
+	case results := <-done:
+		for i, res := range results {
+			if !res.Canceled {
+				t.Fatalf("job %d not canceled: %+v", i, res)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DoAll did not return after cancellation")
+	}
+	if m := r.Meta(); m.Canceled != 5 {
+		t.Fatalf("canceled = %d, want 5", m.Canceled)
+	}
+}
+
+// TestCancellationStopsRealSimulation cancels mid-flight and requires
+// the engine-level poll to stop the run. Timing-tolerant: if the job
+// finishes before the cancel lands, the completed result is kept — that
+// is the documented race resolution — and the test skips.
+func TestCancellationStopsRealSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	job := Job{App: "gauss", Scale: apps.Small, Proto: "lrc", Cfg: config.Default(16)}
+	job.Cfg.CacheSize = 8 << 10
+	job.Cfg.Seed = 1
+	r := New(1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Result)
+	go func() { done <- r.Do(ctx, job) }()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Completed {
+			t.Skip("job completed before the cancel landed")
+		}
+		if !res.Canceled {
+			t.Fatalf("incomplete run not marked canceled: %+v", res)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled simulation did not stop")
+	}
+}
+
+// TestHookedExecIsByteIdentical pins that the daemon's in-run
+// instrumentation (cancellation poll + heartbeat prober) is invisible to
+// the simulation: a hooked execution serializes bit-identically to a
+// plain one, while actually delivering ascending heartbeats.
+func TestHookedExecIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	job := tinyJob("gauss", "lrc")
+	plain := Exec(job)
+	if plain.Failed() {
+		t.Fatalf("plain run failed: %s", plain.Failure)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var beats []uint64
+	hooked := execWith(job, hooks{
+		ctx:   ctx,
+		every: 8192,
+		beat:  func(c uint64) { beats = append(beats, c) },
+	})
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(hooked)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("hooked run differs from plain run:\n%s\n%s", a, b)
+	}
+	if len(beats) == 0 {
+		t.Fatal("no heartbeats delivered")
+	}
+	for i := 1; i < len(beats); i++ {
+		if beats[i] <= beats[i-1] {
+			t.Fatalf("heartbeat cycles not ascending: %v", beats)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -121,7 +122,7 @@ func TestWarmCacheSkipsAllSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	r1 := New(4, cold)
-	first := r1.DoAll(jobs)
+	first := r1.DoAll(context.Background(), jobs)
 	if m := r1.Meta(); m.Simulated != 3 || m.CacheHits != 0 || m.CacheMisses != 3 {
 		t.Fatalf("cold meta: %+v", m)
 	}
@@ -135,7 +136,7 @@ func TestWarmCacheSkipsAllSimulation(t *testing.T) {
 	}
 	defer warm.Close()
 	r2 := New(4, warm)
-	second := r2.DoAll(jobs)
+	second := r2.DoAll(context.Background(), jobs)
 	if m := r2.Meta(); m.Simulated != 0 || m.CacheHits != 3 || m.CacheMisses != 0 {
 		t.Fatalf("warm meta: %+v", m)
 	}
