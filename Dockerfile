@@ -1,0 +1,17 @@
+# Build and package lrcsimd, the multi-tenant experiment daemon. The
+# simulator is pure Go with no cgo and no external dependencies, so the
+# runtime stage is a bare distroless image: one static binary plus a
+# volume for the persistent result store.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/lrcsimd ./cmd/lrcsimd
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/lrcsimd /usr/local/bin/lrcsimd
+# The result store persists simulation results across restarts; mount it
+# to keep warm-cache behaviour (and the sweep registry) between runs.
+VOLUME /data
+EXPOSE 7077
+ENTRYPOINT ["/usr/local/bin/lrcsimd", "-addr", ":7077", "-store", "/data"]

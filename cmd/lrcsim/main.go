@@ -7,6 +7,12 @@
 //
 //	lrcsim -app mp3d -proto lrc -procs 64 -scale small
 //
+// With -protocols it runs the same application once per protocol in the
+// list ("all" expands to every registered protocol) and prints a
+// side-by-side comparison table instead of the single-run report:
+//
+//	lrcsim -app gauss -protocols lrc,tardis,tardis2
+//
 // With -replay it instead re-executes a counterexample schedule written
 // by lrccheck, verifying the recorded outcome and final machine state
 // hash reproduce byte for byte:
@@ -29,6 +35,7 @@ import (
 	"lazyrc/internal/apps"
 	"lazyrc/internal/causal"
 	"lazyrc/internal/check"
+	"lazyrc/internal/config"
 	"lazyrc/internal/machine"
 	"lazyrc/internal/mc"
 	"lazyrc/internal/sim"
@@ -42,6 +49,7 @@ func main() {
 	var (
 		appName    = flag.String("app", "gauss", "application: "+strings.Join(lazyrc.AppNames(), ", "))
 		proto      = flag.String("proto", "lrc", "protocol: "+strings.Join(lazyrc.Protocols(), ", "))
+		protosFlag = flag.String("protocols", "", "run -app once per protocol in this comma-separated list (\"all\" = every registered protocol) and print a comparison table; most single-run flags do not apply")
 		procs      = flag.Int("procs", 64, "number of processors")
 		scale      = flag.String("scale", "small", "input scale: tiny, small, medium, paper")
 		future     = flag.Bool("future", false, "use the §4.3 future-machine parameters")
@@ -132,6 +140,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *protosFlag != "" {
+		compareProtocols(*protosFlag, *appName, sc, *procs, *future, *seed, *verify)
+		return
+	}
+
 	app, err := lazyrc.NewApp(*appName, sc)
 	if err != nil {
 		log.Fatal(err)
@@ -283,6 +297,66 @@ func main() {
 		fmt.Printf("top %d stall episodes\n", *critPath)
 		a.WriteTop(os.Stdout, *critPath)
 	}
+}
+
+// compareProtocols runs the application once per requested protocol —
+// fresh application instance and machine each time — and prints a
+// side-by-side table. Execution time is also shown normalized to the
+// "sc" run when sequential consistency is in the list (otherwise to the
+// first protocol), matching the paper's presentation.
+func compareProtocols(spec, appName string, sc lazyrc.Scale, procs int, future bool, seed uint64, verify bool) {
+	protos, err := config.ParseProtocols(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		proto              string
+		time               uint64
+		cpu, rd, wr, sy    uint64
+		missRate           float64
+		msgs, payloadBytes uint64
+	}
+	rows := make([]row, 0, len(protos))
+	for _, p := range protos {
+		app, err := lazyrc.NewApp(appName, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := lazyrc.DefaultConfig(procs)
+		if future {
+			cfg = lazyrc.FutureConfig(procs)
+		}
+		cfg.Seed = seed
+		m, err := lazyrc.RunApp(cfg, p, app)
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		if verify {
+			if verr := app.Verify(); verr != nil {
+				log.Fatalf("%s: verification failed: %v", p, verr)
+			}
+		}
+		r := row{proto: p, time: m.Stats.ExecutionTime(), missRate: m.Stats.MissRate()}
+		r.cpu, r.rd, r.wr, r.sy = m.Stats.Aggregate()
+		r.msgs, r.payloadBytes = m.Net.Stats()
+		rows = append(rows, r)
+	}
+	base := rows[0].time
+	for _, r := range rows {
+		if r.proto == "sc" {
+			base = r.time
+			break
+		}
+	}
+	fmt.Printf("application %s (%s), %d processors\n", appName, sc, procs)
+	w := tabwriter.NewWriter(os.Stdout, 0, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "protocol\tcycles\tnorm\tcpu\tread\twrite\tsync\tmiss\tmsgs\tbytes\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%d\t%d\t%d\t%d\t%.2f%%\t%d\t%d\t\n",
+			r.proto, r.time, float64(r.time)/float64(base),
+			r.cpu, r.rd, r.wr, r.sy, 100*r.missRate, r.msgs, r.payloadBytes)
+	}
+	w.Flush()
 }
 
 // runOracle re-runs the same application, seed, and protocol with fault

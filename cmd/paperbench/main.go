@@ -18,10 +18,13 @@
 //	paperbench [-scale small] [-procs 64] [-j N] [-cache results.jsonl]
 //	           [-baseline BENCH_baseline.json -tol 0] [targets...]
 //
-// Targets: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 sweep
-// mp3dquality all (default: all); extensions: ablate, scaling, dsm,
-// chaos (the lossy-interconnect soak: every app × protocol under message
-// loss and link outages, gated on the end-state equivalence oracle).
+// Targets: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig9 tardis
+// sweep mp3dquality all (default: all); extensions: ablate, scaling,
+// dsm, chaos (the lossy-interconnect soak: every app × protocol under
+// message loss and link outages, gated on the end-state equivalence
+// oracle). The tardis target compares the timestamp-coherence protocols
+// against the invalidation protocols; -protocols narrows the protocol
+// set it and the chaos soak cover.
 package main
 
 import (
@@ -60,8 +63,14 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		remote     = flag.String("remote", "", "submit the evaluation to a running lrcsimd daemon at this base URL (e.g. http://127.0.0.1:7077) instead of simulating locally; matrix targets only, -j and -cache are the daemon's concern")
+		protoFlag  = flag.String("protocols", "all", "comma-separated protocol subset for the tardis target and the chaos soak (\"all\" = every registered protocol)")
 	)
 	flag.Parse()
+
+	protoList, err := config.ParseProtocols(*protoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 
@@ -122,8 +131,23 @@ func main() {
 
 	// Fan the whole requested matrix out to the worker pool before any
 	// rendering: rendering then reads memoized cells in table order, so
-	// the output is deterministic while the simulations were not.
-	e.Prefetch(exp.TargetCells(targets))
+	// the output is deterministic while the simulations were not. A
+	// narrowed -protocols drops only the timestamp-protocol cells — the
+	// invalidation-protocol cells are shared with the paper figures and
+	// would be simulated anyway.
+	protoSet := map[string]bool{}
+	for _, p := range protoList {
+		protoSet[p] = true
+	}
+	cells := exp.TargetCells(targets)
+	kept := cells[:0]
+	for _, c := range cells {
+		if (c[2] == "tardis" || c[2] == "tardis2") && !protoSet[c[2]] {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	e.Prefetch(kept)
 
 	if all || want["table1"] {
 		emit("table1", exp.Table1(config.Default(*procs)))
@@ -152,6 +176,9 @@ func main() {
 	if all || want["fig9"] {
 		emit("fig9", exp.Fig9(e))
 	}
+	if all || want["tardis"] {
+		emit("tardis", exp.TardisTable(e, protoList))
+	}
 	if all || want["sweep"] {
 		for _, sw := range exp.Sweeps() {
 			emit("sweep", exp.RunSweep(ctx, rn, scale, *procs, sw))
@@ -176,7 +203,7 @@ func main() {
 	chaosFailed := false
 	if want["chaos"] {
 		body, err := exp.RunChaos(ctx, rn, scale, *procs, *seed, exp.AppOrder,
-			[]string{"sc", "erc", "lrc", "lrc-ext"}, nil)
+			protoList, nil)
 		emit("chaos", body)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)

@@ -186,6 +186,18 @@ func TestEndToEnd(t *testing.T) {
 	if err := d2.c.WaitHealthy(ctx); err != nil {
 		t.Fatal(err)
 	}
+
+	// The persisted sweep registry resurrects the sweep with no client
+	// resubmission: the restarted daemon re-ran it from the store at
+	// boot, so it is already listed — and must finish as a pure cache
+	// replay with the identical report bytes.
+	if _, err := d2.c.Sweep(ctx, sweepID); err != nil {
+		t.Fatalf("sweep not restored from persisted registry: %v", err)
+	}
+	if all, err := d2.c.Sweeps(ctx); err != nil || len(all) != 1 || all[0].ID != sweepID {
+		t.Fatalf("restored sweep list: %v, %v", all, err)
+	}
+
 	st3, err := d2.c.SubmitSweep(ctx, spec)
 	if err != nil {
 		t.Fatal(err)

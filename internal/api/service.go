@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -71,7 +72,11 @@ type jobState struct {
 
 // NewService builds a service executing on a pool of the given size,
 // persisting through st (nil disables persistence). The bus, runner, and
-// submission registries start empty; Close tears them down.
+// job registry start empty; the sweep registry is reloaded from the
+// store's persisted sidecar, resurrecting every sweep a previous daemon
+// incarnation accepted — the re-runs resolve from the result store, so
+// a warm boot restores finished reports without simulating. Close tears
+// everything down.
 func NewService(workers int, st *store.Store) *Service {
 	var rstore runner.ResultStore
 	if st != nil {
@@ -88,6 +93,15 @@ func NewService(workers int, st *store.Store) *Service {
 		jobs:   make(map[string]*jobState),
 	}
 	s.rn.Emit = s.onEvent
+	if st != nil {
+		for _, raw := range st.Sweeps() {
+			var spec exp.Spec
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				continue // schema drift: skip, the registry rewrites on next submit
+			}
+			s.SubmitSweep(spec) // a spec that no longer validates is dropped
+		}
+	}
 	return s
 }
 
@@ -181,8 +195,28 @@ func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.persistSweeps()
 	go s.runSweep(ctx, sw, norm)
 	return st, true, nil
+}
+
+// persistSweeps rewrites the store's sweep registry sidecar from the
+// current submission order. Best-effort: persistence failing must not
+// fail the submission that triggered it (the sweep still runs; only
+// restart recovery is degraded).
+func (s *Service) persistSweeps() {
+	if s.st == nil {
+		return
+	}
+	s.mu.Lock()
+	specs := make([]json.RawMessage, 0, len(s.order))
+	for _, id := range s.order {
+		if b, err := json.Marshal(s.sweeps[id].status.Spec); err == nil {
+			specs = append(specs, b)
+		}
+	}
+	s.mu.Unlock()
+	_ = s.st.SaveSweeps(specs)
 }
 
 // runSweep executes one sweep to a terminal state.

@@ -9,11 +9,11 @@ import (
 
 // TestEveryAppVerifiesUnderEveryProtocol is the central correctness gate:
 // all seven workloads, at Tiny scale, must produce verified results under
-// all four protocols, leave the directories consistent, and drain every
-// buffer.
+// every registered protocol, leave the directories consistent, and drain
+// every buffer.
 func TestEveryAppVerifiesUnderEveryProtocol(t *testing.T) {
 	for _, name := range Names() {
-		for _, proto := range []string{"sc", "erc", "lrc", "lrc-ext"} {
+		for _, proto := range config.ProtocolNames() {
 			name, proto := name, proto
 			t.Run(name+"/"+proto, func(t *testing.T) {
 				t.Parallel()
@@ -50,7 +50,7 @@ func TestEveryAppVerifiesUnderEveryProtocol(t *testing.T) {
 // evaluation uses — so eviction/invalidation/fill races get exercised.
 func TestAppsUnderEvictionPressure(t *testing.T) {
 	for _, name := range Names() {
-		for _, proto := range []string{"sc", "erc", "lrc", "lrc-ext"} {
+		for _, proto := range config.ProtocolNames() {
 			name, proto := name, proto
 			t.Run(name+"/"+proto, func(t *testing.T) {
 				t.Parallel()

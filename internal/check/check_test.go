@@ -9,7 +9,7 @@ import (
 	"lazyrc/internal/machine"
 )
 
-var protocols = []string{"sc", "erc", "lrc", "lrc-ext"}
+var protocols = config.ProtocolNames()
 
 // TestCleanRunHasNoViolations audits a full workload under every protocol,
 // both with periodic epoch audits and the strict quiescence audit: a

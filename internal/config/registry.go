@@ -1,0 +1,127 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The protocol registry is the single authoritative list of coherence
+// protocols: every CLI flag menu, experiment target, litmus sweep, and
+// machine constructor resolves protocol names through it. Protocols
+// register themselves from internal/protocol's init, so any program
+// that links the protocol package (every binary and test that can
+// actually run one) sees the full menu; the constructor is typed `any`
+// only because config cannot import protocol without a cycle — the
+// caller in internal/protocol asserts it back to the Protocol
+// interface.
+
+// ProtocolInfo describes one registered coherence protocol.
+type ProtocolInfo struct {
+	// Name is the canonical CLI-facing protocol name ("sc", "lrc", ...).
+	Name string
+	// Doc is a one-line description for flag help and protocol tables.
+	Doc string
+	// Lazy reports whether the protocol delays coherence actions to
+	// acquire time (selects the lazy directory cost and relaxes the
+	// single-writer audit).
+	Lazy bool
+	// SCStrict reports whether the protocol promises sequentially
+	// consistent outcomes even for racy programs. The model checker
+	// judges racy litmus outcomes only for SCStrict protocols; relaxed
+	// ones owe SC outcomes only to data-race-free programs.
+	SCStrict bool
+	// New constructs a fresh protocol instance. The concrete value
+	// implements protocol.Protocol.
+	New func() any
+}
+
+var protocolRegistry []ProtocolInfo
+
+// RegisterProtocol adds a protocol to the registry. It is called from
+// package init functions; duplicate or unnamed registrations are
+// programming errors and panic.
+func RegisterProtocol(info ProtocolInfo) {
+	if info.Name == "" || info.New == nil {
+		panic("config: RegisterProtocol requires a name and a constructor")
+	}
+	for _, p := range protocolRegistry {
+		if p.Name == info.Name {
+			panic(fmt.Sprintf("config: protocol %q registered twice", info.Name))
+		}
+	}
+	protocolRegistry = append(protocolRegistry, info)
+}
+
+// ProtocolInfoFor returns the registration for name.
+func ProtocolInfoFor(name string) (ProtocolInfo, bool) {
+	for _, p := range protocolRegistry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ProtocolInfo{}, false
+}
+
+// ProtocolNames returns every registered protocol name in registration
+// order (the canonical presentation order: sc, erc, lrc, lrc-ext,
+// tardis, tardis2).
+func ProtocolNames() []string {
+	names := make([]string, len(protocolRegistry))
+	for i, p := range protocolRegistry {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProtocolSCStrict reports whether name promises SC outcomes for racy
+// programs. Unknown names are conservatively judged strict, so a typo'd
+// protocol fails loudly against the oracle rather than silently passing.
+func ProtocolSCStrict(name string) bool {
+	if p, ok := ProtocolInfoFor(name); ok {
+		return p.SCStrict
+	}
+	return true
+}
+
+// ParseProtocols resolves a comma-separated protocol list against the
+// registry, with "all" (or an empty string) expanding to every
+// registered protocol. Duplicates are removed, registry order is
+// preserved, and unknown names are errors.
+func ParseProtocols(spec string) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return ProtocolNames(), nil
+	}
+	want := map[string]bool{}
+	var order []string
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range ProtocolNames() {
+				if !want[n] {
+					want[n] = true
+					order = append(order, n)
+				}
+			}
+			continue
+		}
+		if _, ok := ProtocolInfoFor(name); !ok {
+			return nil, fmt.Errorf("config: unknown protocol %q (known: %v)", name, ProtocolNames())
+		}
+		if !want[name] {
+			want[name] = true
+			order = append(order, name)
+		}
+	}
+	// Present in registry order regardless of how the user listed them,
+	// so downstream tables and digests are order-independent.
+	idx := map[string]int{}
+	for i, n := range ProtocolNames() {
+		idx[n] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return idx[order[i]] < idx[order[j]] })
+	return order, nil
+}

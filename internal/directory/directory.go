@@ -71,6 +71,9 @@ type Entry struct {
 type Directory struct {
 	nprocs  int
 	entries map[uint64]*Entry
+	// leases is the timestamp protocols' home-side table (see lease.go);
+	// empty under the invalidation protocols.
+	leases map[uint64]*Lease
 
 	// check enables invariant verification after mutations.
 	check bool

@@ -241,8 +241,8 @@ func TestTargetCells(t *testing.T) {
 		}
 		seen[c] = true
 	}
-	// Full matrix: 7 apps × (4 protocols on default + 4 on future).
-	if want := len(AppOrder) * 8; len(all) != want {
+	// Full matrix: 7 apps × (6 protocols on default + 4 on future).
+	if want := len(AppOrder) * 10; len(all) != want {
 		t.Fatalf("all target cells = %d, want %d", len(all), want)
 	}
 	// fig4 needs the SC baseline even though it only plots erc and lrc.

@@ -19,7 +19,7 @@ import (
 
 // protoOrder fixes both the column order and the categorical palette
 // slot of each protocol — color follows the protocol, never its rank.
-var protoOrder = []string{"sc", "erc", "lrc", "lrc-ext"}
+var protoOrder = []string{"sc", "erc", "lrc", "lrc-ext", "tardis", "tardis2"}
 
 func protoSlot(proto string) int {
 	for i, p := range protoOrder {

@@ -167,10 +167,39 @@ func Fig8(e *Evaluator) string {
 		[]string{"erc", "lrc", "lrc-ext"})
 }
 
-// Fig9 renders Figure 9: the future machine's overhead breakdown for all
-// four protocols.
+// Fig9 renders Figure 9: the future machine's overhead breakdown for the
+// paper's four protocols.
 func Fig9(e *Evaluator) string {
 	return figOverhead(e, "future",
 		"Figure 9: performance trends, overhead analysis (future machine)",
 		[]string{"lrc", "lrc-ext", "erc", "sc"})
+}
+
+// TardisTable renders the timestamp-coherence comparison (extension
+// beyond the paper): every requested protocol on the default machine,
+// with normalized time, miss rate, and total interconnect traffic. The
+// traffic columns are the point — the timestamp protocols replace
+// invalidation and write-notice fan-out with leases that expire locally,
+// so their message counts isolate what coherence enforcement itself
+// costs on the wire.
+func TardisTable(e *Evaluator, protos []string) string {
+	if len(protos) == 0 {
+		protos = targetProtos["tardis"].protos
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timestamp coherence: invalidation vs. lease protocols (default machine)\n")
+	fmt.Fprintf(&b, "  %-12s %-8s %10s %9s %12s %14s\n",
+		"Application", "Protocol", "Normalized", "MissRate", "Messages", "Bytes")
+	for _, app := range AppOrder {
+		for i, p := range protos {
+			label := ""
+			if i == 0 {
+				label = app
+			}
+			r := e.Get("default", app, p)
+			fmt.Fprintf(&b, "  %-12s %-8s %10.3f %8.2f%% %12d %14d\n",
+				label, p, e.Normalized("default", app, p), 100*r.MissRate, r.Msgs, r.Bytes)
+		}
+	}
+	return b.String()
 }

@@ -16,6 +16,7 @@ var targetProtos = map[string]struct {
 	"fig7":   {"default", []string{"sc", "lrc", "lrc-ext"}},
 	"fig8":   {"future", []string{"sc", "erc", "lrc", "lrc-ext"}},
 	"fig9":   {"future", []string{"sc", "erc", "lrc", "lrc-ext"}},
+	"tardis": {"default", []string{"sc", "erc", "lrc", "lrc-ext", "tardis", "tardis2"}},
 }
 
 // matrixTargets is the planning order — a stable order keeps the job
@@ -23,6 +24,7 @@ var targetProtos = map[string]struct {
 // deterministic.
 var matrixTargets = []string{
 	"table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"tardis",
 }
 
 // TargetCells expands the requested paperbench targets ("all" or any of

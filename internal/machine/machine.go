@@ -454,6 +454,7 @@ func (m *Machine) StateHash() uint64 {
 	for _, n := range m.Nodes {
 		b = n.AppendSnapshot(b)
 		b = n.Dir.AppendSnapshot(b)
+		b = n.Dir.AppendLeaseSnapshot(b)
 	}
 	h := uint64(14695981039346656037)
 	for _, c := range b {
@@ -502,6 +503,19 @@ func (m *Machine) CheckQuiescent() error {
 		}
 		if w := n.SeqWaiting(); w > 0 {
 			return fmt.Errorf("node %d: %d arrival(s) still parked in the delivery sequencer (a lost message was never recovered)", n.ID, w)
+		}
+		n.Dir.VisitLeases(func(block uint64, l *directory.Lease) {
+			if err == nil {
+				if verr := n.Dir.ValidateLease(l); verr != nil {
+					err = fmt.Errorf("node %d block %d: %w", n.ID, block, verr)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if terr := n.TardisResidual(); terr != nil {
+			return fmt.Errorf("node %d: %w", n.ID, terr)
 		}
 	}
 	if _, _, _, _, _, pending := m.Net.TransportStats(); pending > 0 {

@@ -75,9 +75,9 @@ func (p *Proc) access(a Addr, write bool) {
 
 	if !write {
 		n.PS.Reads++
-		if n.Cache.Lookup(block) != nil {
+		if n.Cache.Lookup(block) != nil && n.Proto.ReadHit(n, block) {
 			p.maybeSync()
-			return // read hit: any valid copy satisfies a load
+			return // read hit: the protocol accepts the cached copy
 		}
 		p.syncNow()
 		n.Proto.CPURead(n, block, word)

@@ -3,6 +3,8 @@ package mc
 import (
 	"fmt"
 	"sort"
+
+	"lazyrc/internal/config"
 )
 
 // This file is the model checker proper: a stateless-search DFS over
@@ -120,9 +122,9 @@ func Explore(t *Test, ec ExploreConfig) (*Report, error) {
 	}
 	// Relaxed protocols promise SC outcomes only for data-race-free
 	// programs; racy litmus tests still run (invariants, deadlock) but
-	// their outcomes are merely recorded. The SC protocol owes SC
-	// semantics to every program.
-	checkOutcome := t.DRF || ec.Proto == "sc"
+	// their outcomes are merely recorded. The SC-strict protocols (sc,
+	// tardis) owe SC semantics to every program.
+	checkOutcome := t.DRF || config.ProtocolSCStrict(ec.Proto)
 	if ec.MaxRuns <= 0 {
 		ec.MaxRuns = 2000
 	}

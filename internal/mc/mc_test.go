@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"lazyrc/internal/config"
 )
 
 func TestSCOracle(t *testing.T) {
@@ -74,7 +76,9 @@ func TestOracleValidatesDRFLabels(t *testing.T) {
 	}
 }
 
-var allProtos = []string{"sc", "erc", "lrc", "lrc-ext"}
+// allProtos is the full registry menu — sc, erc, lrc, lrc-ext, tardis,
+// tardis2 — so the conformance corpus covers every registered protocol.
+var allProtos = config.ProtocolNames()
 
 func exploreBudget(proto string) ExploreConfig {
 	ec := DefaultExplore(proto)
@@ -143,6 +147,69 @@ func TestMutationCaught(t *testing.T) {
 		if res.Outcome != cx.Outcome || res.FinalHash != cx.FinalHash {
 			t.Fatalf("%s: replay mismatch: outcome %q hash %#x, want %q %#x",
 				proto, res.Outcome, res.FinalHash, cx.Outcome, cx.FinalHash)
+		}
+	}
+}
+
+// TestLeaseMutationCaught: a timestamp protocol that never checks lease
+// expiry (and never sweeps at acquires) serves stale copies forever; the
+// checker must catch it on mp-stale within a bounded budget, and the
+// minimized counterexample must replay deterministically.
+func TestLeaseMutationCaught(t *testing.T) {
+	tc, err := FindTest("mp-stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []string{"tardis", "tardis2"} {
+		ec := exploreBudget(proto)
+		ec.Mutation = "skip-lease-renewal"
+		rep, err := Explore(tc, ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Violating() {
+			t.Fatalf("%s: mutation skip-lease-renewal not caught", proto)
+		}
+		cx := rep.Counterexamples[0]
+		sched := NewSchedule(tc, ec, cx, rep.Allowed)
+
+		path := filepath.Join(t.TempDir(), "cx.json")
+		if err := sched.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadSchedule(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(loaded)
+		if err != nil {
+			t.Fatalf("%s: counterexample does not replay: %v", proto, err)
+		}
+		if res.Outcome != cx.Outcome || res.FinalHash != cx.FinalHash {
+			t.Fatalf("%s: replay mismatch: outcome %q hash %#x, want %q %#x",
+				proto, res.Outcome, res.FinalHash, cx.Outcome, cx.FinalHash)
+		}
+	}
+}
+
+// TestLeaseMutationIsTimestampOnly: the invalidation protocols have no
+// leases to skip, so the timestamp-only mutation must be a no-op for
+// them (guards against the mutation knob perturbing shared code).
+func TestLeaseMutationIsTimestampOnly(t *testing.T) {
+	tc, err := FindTest("mp-stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []string{"sc", "lrc"} {
+		ec := exploreBudget(proto)
+		ec.Mutation = "skip-lease-renewal"
+		ec.MaxRuns = 100
+		rep, err := Explore(tc, ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violating() {
+			t.Errorf("%s violated under a timestamp-only mutation: %v", proto, rep.Counterexamples[0].Reasons)
 		}
 	}
 }

@@ -20,7 +20,8 @@ import (
 
 // RunConfig parameterizes a single checked run.
 type RunConfig struct {
-	// Proto is the protocol name: "sc", "erc", "lrc", "lrc-ext".
+	// Proto is the protocol name: "sc", "erc", "lrc", "lrc-ext",
+	// "tardis", or "tardis2".
 	Proto string
 	// Menu is the set of per-message delivery delays (cycles) the
 	// explorer may choose among. Empty means DefaultMenu.
@@ -168,6 +169,8 @@ func litmusConfig(t *Test, rc RunConfig) config.Config {
 		WBEntries:       4,
 		CBEntries:       4,
 		Quantum:         1,
+		LeaseLen:        8,
+		TSDeltaBits:     20,
 		CheckInvariants: true,
 		Mutation:        rc.Mutation,
 	}

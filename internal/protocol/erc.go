@@ -11,7 +11,7 @@ import (
 // background of computation. The processor stalls only when its
 // (4-entry) write buffer overflows or when it reaches a release with
 // coherence transactions still outstanding.
-type ERC struct{}
+type ERC struct{ invalPaths }
 
 var _ Protocol = (*ERC)(nil)
 

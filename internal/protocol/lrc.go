@@ -13,7 +13,7 @@ import (
 // Multiple processors may write a block concurrently; write-through
 // caches with a coalescing buffer keep memory current so the home never
 // forwards a read.
-type LRC struct{}
+type LRC struct{ invalPaths }
 
 var _ Protocol = (*LRC)(nil)
 var _ lazyNoticePolicy = (*LRC)(nil)
@@ -38,7 +38,8 @@ func (*LRC) Deliver(n *Node, m mesh.Msg) { lazyDeliver(n, m) }
 // transaction.
 func (*LRC) CPURead(n *Node, block uint64, word int) { lazyCPURead(n, block, word) }
 
-// lazyCPURead is the blocking load path shared by all four protocols:
+// lazyCPURead is the blocking load path shared by the invalidation
+// protocols (the timestamp protocols use tardisCPURead):
 // miss, request, stall until the fill arrives (merging onto any
 // transaction already in flight for the block). An arriving fill
 // satisfies the load even if a racing invalidation dropped the copy in

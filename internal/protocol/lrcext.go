@@ -15,7 +15,7 @@ import (
 // As the paper shows, this wins on miss rate but moves the coherence
 // work into the critical path of the release, and loses to LRC on
 // overall execution time for all applications but fft.
-type LRCExt struct{}
+type LRCExt struct{ invalPaths }
 
 var _ Protocol = (*LRCExt)(nil)
 var _ lazyNoticePolicy = (*LRCExt)(nil)

@@ -1,5 +1,6 @@
-// Package protocol implements the four coherence protocols of the paper
-// on top of the simulated mesh, caches, and directories:
+// Package protocol implements six coherence protocols — the four of the
+// paper plus two timestamp protocols — on top of the simulated mesh,
+// caches, and directories:
 //
 //   - SC: a sequentially consistent directory protocol (every access
 //     stalls until globally performed) — the unit line of every figure.
@@ -13,6 +14,11 @@
 //     with a coalescing buffer, and home-collected acknowledgements.
 //   - LRCExt: the lazier variant — write notices buffered locally and
 //     posted only at release (or on eviction of a written block).
+//   - Tardis: timestamp coherence — logical read leases instead of
+//     invalidation fan-out, with sequentially consistent stalling
+//     stores (see tardis.go).
+//   - Tardis2: the relaxed variant — buffered stores and an
+//     acquire-time lease-expiry sweep (see tardis2.go).
 //
 // The package also provides the synchronization managers (queue locks,
 // barriers, one-shot flags) whose acquire and release operations carry
@@ -97,7 +103,8 @@ const (
 	MsgNoticePost
 
 	// MsgLockReq through MsgFlagGo are synchronization traffic handled
-	// by the sync managers. Aux carries the object id.
+	// by the sync managers. Aux carries the object id. Addr carries the
+	// logical timestamp of the timestamp protocols (0 otherwise).
 	MsgLockReq
 	MsgLockGrant
 	MsgLockFree
@@ -106,6 +113,47 @@ const (
 	MsgFlagSet
 	MsgFlagWait
 	MsgFlagGo
+
+	// The MsgT* kinds belong to the timestamp protocols (tardis,
+	// tardis2), which replace invalidation fan-out with logical leases.
+	// They are appended after the sync block so every pre-existing kind
+	// keeps its number (fault plans and traffic tables stay stable).
+
+	// MsgTReadReq asks the home for a block's data and a read lease
+	// (control). Arg is the requester's program timestamp.
+	MsgTReadReq
+	// MsgTReadReply returns block data plus its lease (data). Arg is the
+	// write timestamp, Aux the read-lease end.
+	MsgTReadReply
+	// MsgTRenewReq asks the home to extend an expired lease (control).
+	// Arg is the requester's program timestamp, Aux the write timestamp
+	// of its cached copy (so the home can prove the copy current).
+	MsgTRenewReq
+	// MsgTRenewAck extends a lease without data — the renewal fast path
+	// when the copy is still current (control). Arg is the write
+	// timestamp, Aux the new read-lease end.
+	MsgTRenewAck
+	// MsgTWriteReq asks the home for exclusive ownership (control). Arg
+	// is the requester's program timestamp. Aux bit 0 asks for the
+	// block's contents unconditionally (no cached copy); Aux bit 1 says
+	// a read copy with write timestamp Aux>>2 is cached, so the home
+	// includes data only if that copy is stale.
+	MsgTWriteReq
+	// MsgTWriteReply grants exclusive ownership (data iff Aux&1). Arg is
+	// the new write timestamp.
+	MsgTWriteReply
+	// MsgTRecall asks the current exclusive owner to yield the block
+	// back to the home (control).
+	MsgTRecall
+	// MsgTYield returns a recalled block's data to the home, giving up
+	// ownership (data). Aux is the owner's write timestamp.
+	MsgTYield
+	// MsgTWB carries an evicted owned block's data home (data). Aux is
+	// the owner's write timestamp.
+	MsgTWB
+	// MsgTNack tells the home a recall found no copy (the owner's
+	// eviction write-back is already on the wire ahead of it).
+	MsgTNack
 
 	numMsgKinds
 )
@@ -118,6 +166,8 @@ var msgNames = [...]string{
 	"NoticePost",
 	"LockReq", "LockGrant", "LockFree", "BarArrive", "BarGo",
 	"FlagSet", "FlagWait", "FlagGo",
+	"TReadReq", "TReadReply", "TRenewReq", "TRenewAck",
+	"TWriteReq", "TWriteReply", "TRecall", "TYield", "TWB", "TNack",
 }
 
 // String returns the message kind mnemonic.

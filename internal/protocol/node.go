@@ -159,6 +159,7 @@ type Node struct {
 	seq *mesh.Sequencer // exactly-once in-order delivery under faults
 
 	eagerHome *eagerState // lazily allocated eager-protocol home state
+	tardis    *tardisNode // lazily allocated timestamp-protocol state
 
 	sync syncNode
 }
@@ -416,6 +417,14 @@ func (n *Node) evictVictim(v cache.Line) {
 		n.removeDelayed(block)
 		n.postNotice(block)
 	}
+	n.Proto.Evict(n, v)
+}
+
+// evictInval is the invalidation protocols' eviction tail: write-back
+// protocols send dirty data home, everyone else sends a copy-gone hint
+// so the directory can drop the sharer.
+func (n *Node) evictInval(v cache.Line) {
+	block := v.Block
 	if v.Dirty != 0 && n.usesWriteBack() {
 		n.wtPending++
 		n.sendData(n.homeOf(block), MsgWriteBack, block, n.lineBytes(), v.Dirty, 0, n.copyVals(block))
@@ -455,13 +464,20 @@ func (n *Node) commitWB(block uint64, word int) {
 	}
 }
 
-// FastWriteHit attempts the write-hit fast path: a store to a resident
-// read-write line that requires no messages and therefore no
-// synchronization with the event loop (the processor may be running
-// ahead on its private clock). It reports whether the store was
-// performed; on false the caller must sync to engine time and take the
-// full CPUWrite path.
+// FastWriteHit attempts the write-hit fast path: a store that requires
+// no messages and therefore no synchronization with the event loop (the
+// processor may be running ahead on its private clock). It reports
+// whether the store was performed; on false the caller must sync to
+// engine time and take the full CPUWrite path. The behaviour is the
+// protocol's (the timestamp protocols also advance their logical clock
+// here).
 func (n *Node) FastWriteHit(block uint64, word int) bool {
+	return n.Proto.WriteHit(n, block, word)
+}
+
+// writeHitInval is the invalidation protocols' shared write-hit fast
+// path: a store to a resident read-write line.
+func (n *Node) writeHitInval(block uint64, word int) bool {
 	line := n.Cache.Lookup(block)
 	if line == nil || line.State != cache.ReadWrite {
 		return false
@@ -606,6 +622,17 @@ func (n *Node) Debug() string {
 		}
 		for b, msgs := range n.eagerHome.deferred {
 			s += fmt.Sprintf(" deferred{block %d n:%d}", b, len(msgs))
+		}
+	}
+	if td := n.tardis; td != nil {
+		for b := range td.busy {
+			s += fmt.Sprintf(" tbusy{block %d}", b)
+		}
+		for b, msgs := range td.deferred {
+			s += fmt.Sprintf(" tdeferred{block %d n:%d}", b, len(msgs))
+		}
+		for b, rc := range td.recall {
+			s += fmt.Sprintf(" trecall{block %d owner %d}", b, rc.owner)
 		}
 	}
 	return s

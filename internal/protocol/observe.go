@@ -23,6 +23,10 @@ type ProtEvent struct {
 	// "wn-apply" (a node queues an arriving notice for acquire-time
 	// invalidation), "wn-post" (lazier protocol posts a deferred notice),
 	// or "inv-acquire" (a queued line is invalidated at an acquire).
+	// The timestamp protocols add "lease-renew" (a control-only renewal
+	// extended a lease), "ts-bump" (a node's logical clock advanced past
+	// a sync grant's stamp), and "lease-expire" (a cached lease was
+	// dropped — at an acquire sweep or on a recall).
 	Kind string
 	// Node is the node the event happened at.
 	Node int

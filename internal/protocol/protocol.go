@@ -3,15 +3,18 @@ package protocol
 import (
 	"fmt"
 
+	"lazyrc/internal/cache"
+	"lazyrc/internal/config"
 	"lazyrc/internal/mesh"
 )
 
 // Protocol is the strategy implemented by each coherence protocol. The
-// CPU-side methods (CPURead, CPUWrite, AcquireBegin, Release) run on the
-// node's processor context and may park it; AcquireEnd and Deliver run on
-// the engine (event-handler) side.
+// CPU-side methods (CPURead, CPUWrite, ReadHit, WriteHit, AcquireBegin,
+// Release) run on the node's processor context and may park it;
+// AcquireEnd and Deliver run on the engine (event-handler) side.
 type Protocol interface {
-	// Name identifies the protocol ("sc", "erc", "lrc", "lrc-ext").
+	// Name identifies the protocol ("sc", "erc", "lrc", "lrc-ext",
+	// "tardis", "tardis2").
 	Name() string
 	// Lazy reports whether this is one of the lazy protocols, which pay
 	// the higher directory access cost of Table 1.
@@ -20,6 +23,19 @@ type Protocol interface {
 	// (write-back protocols) rather than relying on write-through.
 	WriteBack() bool
 
+	// ReadHit runs on the load fast path when a valid line is cached; it
+	// returns whether the cached copy may satisfy the load. The
+	// invalidation protocols always hit (any valid copy satisfies a
+	// load); the timestamp protocols return false when the line's lease
+	// has expired, sending the load down CPURead to renew. Runs on the
+	// processor's private clock, so it must not touch the engine or send
+	// messages.
+	ReadHit(n *Node, block uint64) bool
+	// WriteHit attempts the store fast path and reports whether the
+	// store was performed without any messages (so the processor may
+	// keep running ahead on its private clock). On false the caller
+	// syncs to engine time and takes the full CPUWrite path.
+	WriteHit(n *Node, block uint64, word int) bool
 	// CPURead performs a load that missed the fast path; it returns when
 	// the datum is readable, charging stalls to the node's stats.
 	CPURead(n *Node, block uint64, word int)
@@ -27,6 +43,12 @@ type Protocol interface {
 	// relaxed protocols it usually queues the store and returns without
 	// waiting for global performance.
 	CPUWrite(n *Node, block uint64, word int)
+
+	// Evict runs when a valid line is replaced, after the node's common
+	// bookkeeping (classifier loss, pending-invalidation and coalescing-
+	// buffer cleanup): the protocol ships dirty data home and/or tells
+	// the home the copy is gone.
+	Evict(n *Node, v cache.Line)
 
 	// AcquireBegin runs when the processor starts an acquire: the lazy
 	// protocols begin invalidating notified lines, overlapping with the
@@ -45,20 +67,64 @@ type Protocol interface {
 	Deliver(n *Node, m mesh.Msg)
 }
 
+// releaseTimestamper is implemented by protocols that piggyback a
+// logical timestamp on release-class synchronization messages (the
+// timestamp protocols' physiological time: an acquirer's clock must
+// pass the releaser's so lease expiry is ordered after the release).
+type releaseTimestamper interface {
+	ReleaseTS(n *Node) uint64
+}
+
+// acquireTimestamper receives the timestamp carried by a
+// synchronization grant, before AcquireEnd runs.
+type acquireTimestamper interface {
+	AcquireTS(n *Node, ts uint64)
+}
+
+// invalPaths supplies the invalidation protocols' (sc, erc, lrc,
+// lrc-ext) shared fast paths: any valid copy satisfies a load, stores
+// hit resident read-write lines, and evicted dirty lines follow the
+// write-back/write-through split.
+type invalPaths struct{}
+
+func (invalPaths) ReadHit(n *Node, block uint64) bool            { return true }
+func (invalPaths) WriteHit(n *Node, block uint64, word int) bool { return n.writeHitInval(block, word) }
+func (invalPaths) Evict(n *Node, v cache.Line)                   { n.evictInval(v) }
+
+// init registers every protocol with the config registry — the single
+// authoritative menu that CLIs, experiment targets, and the model
+// checker resolve names against. Registration order is presentation
+// order.
+func init() {
+	for _, p := range []config.ProtocolInfo{
+		{Name: "sc", Doc: "sequentially consistent write-back invalidation", SCStrict: true,
+			New: func() any { return &SC{} }},
+		{Name: "erc", Doc: "eager release consistency (invalidate at release)",
+			New: func() any { return &ERC{} }},
+		{Name: "lrc", Doc: "lazy release consistency (invalidate at acquire)", Lazy: true,
+			New: func() any { return &LRC{} }},
+		{Name: "lrc-ext", Doc: "lazier release consistency (delayed write notices)", Lazy: true,
+			New: func() any { return &LRCExt{} }},
+		{Name: "tardis", Doc: "timestamp coherence with logical leases (SC, no invalidations)", SCStrict: true,
+			New: func() any { return &Tardis{} }},
+		{Name: "tardis2", Doc: "relaxed timestamp coherence (buffered stores, acquire-time lease sweep)",
+			New: func() any { return &Tardis2{} }},
+	} {
+		config.RegisterProtocol(p)
+	}
+}
+
 // New returns the protocol implementation registered under name.
 func New(name string) (Protocol, error) {
-	switch name {
-	case "sc":
-		return &SC{}, nil
-	case "erc":
-		return &ERC{}, nil
-	case "lrc":
-		return &LRC{}, nil
-	case "lrc-ext", "lrcext":
-		return &LRCExt{}, nil
+	if name == "lrcext" { // historical alias
+		name = "lrc-ext"
 	}
-	return nil, fmt.Errorf("protocol: unknown protocol %q (want sc, erc, lrc, lrc-ext)", name)
+	info, ok := config.ProtocolInfoFor(name)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (want %v)", name, Names())
+	}
+	return info.New().(Protocol), nil
 }
 
 // Names lists the available protocols in evaluation order.
-func Names() []string { return []string{"sc", "erc", "lrc", "lrc-ext"} }
+func Names() []string { return config.ProtocolNames() }

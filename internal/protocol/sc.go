@@ -11,7 +11,7 @@ import (
 // directory as ERC, but the processor stalls on every read miss and on
 // every write until the access is globally performed. There is no write
 // buffer and no consistency work at synchronization operations.
-type SC struct{}
+type SC struct{ invalPaths }
 
 var _ Protocol = (*SC)(nil)
 

@@ -99,6 +99,7 @@ func (n *Node) AppendSnapshot(b []byte) []byte {
 		l := n.sync.locks[id]
 		s.u64(id)
 		s.bit(l.held)
+		s.u64(l.ts)
 		for _, q := range l.queue {
 			s.u64(uint64(q))
 		}
@@ -114,6 +115,7 @@ func (n *Node) AppendSnapshot(b []byte) []byte {
 		bar := n.sync.bars[id]
 		s.u64(id)
 		s.u64(uint64(bar.arrived))
+		s.u64(bar.ts)
 		for _, w := range bar.waiting {
 			s.u64(uint64(w))
 		}
@@ -129,6 +131,7 @@ func (n *Node) AppendSnapshot(b []byte) []byte {
 		f := n.sync.flags[id]
 		s.u64(id)
 		s.bit(f.set)
+		s.u64(f.ts)
 		for _, w := range f.waiters {
 			s.u64(uint64(w))
 		}
@@ -185,6 +188,61 @@ func (n *Node) AppendSnapshot(b []byte) []byte {
 		}
 		for _, blk := range sortedU64(serv) {
 			s.u64(blk)
+		}
+		s.u64(^uint64(0))
+	}
+
+	if td := n.tardis; td != nil {
+		s.u64(td.pts)
+		s.u64(td.bts)
+		s.u64(td.rebases)
+		blocks = blocks[:0]
+		for blk := range td.leases {
+			blocks = append(blocks, blk)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			l := td.leases[blk]
+			s.u64(blk)
+			s.u64(l.wts)
+			s.u64(l.rts)
+		}
+		s.u64(^uint64(0))
+		for _, blk := range sortedU64(td.busy) {
+			s.u64(blk)
+		}
+		s.u64(^uint64(0))
+		blocks = blocks[:0]
+		for blk := range td.deferred {
+			if len(td.deferred[blk]) > 0 {
+				blocks = append(blocks, blk)
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			s.u64(blk)
+			for _, m := range td.deferred[blk] {
+				s.u64(uint64(m.Kind))
+				s.u64(uint64(m.Src))
+				s.u64(m.Arg)
+				s.u64(m.Aux)
+			}
+			s.u64(^uint64(0))
+		}
+		s.u64(^uint64(0))
+		blocks = blocks[:0]
+		for blk := range td.recall {
+			blocks = append(blocks, blk)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, blk := range blocks {
+			rc := td.recall[blk]
+			s.u64(blk)
+			s.u64(uint64(rc.owner))
+			s.u64(uint64(rc.pending.Kind))
+			s.u64(uint64(rc.pending.Src))
+			s.u64(rc.pending.Arg)
+			s.u64(rc.pending.Aux)
 		}
 		s.u64(^uint64(0))
 	}

@@ -28,16 +28,22 @@ import (
 type lockState struct {
 	held  bool
 	queue []int
+	// ts is the maximum logical timestamp carried by any release of
+	// this lock (timestamp protocols; always 0 otherwise). Grants carry
+	// it back so the acquirer's clock passes every prior releaser's.
+	ts uint64
 }
 
 type barState struct {
 	arrived int
 	waiting []int
+	ts      uint64 // max release timestamp over all arrivals (monotonic)
 }
 
 type flagState struct {
 	set     bool
 	waiters []int
+	ts      uint64 // release timestamp of the setter
 }
 
 // syncNode is the per-node synchronization state: home-side object
@@ -102,7 +108,7 @@ func (n *Node) LockRelease(home int, id uint64) {
 	n.observe("release", 0, id, -1)
 	st := n.Env.Causal.BeginSync(n.ID, id, "lock-release", n.now())
 	n.Proto.Release(n)
-	n.send(home, MsgLockFree, 0, 0, 0, id)
+	n.send(home, MsgLockFree, n.releaseTS(), 0, 0, id)
 	n.Env.Causal.EndSync(st, n.now())
 }
 
@@ -115,7 +121,7 @@ func (n *Node) BarrierWait(home int, id uint64, parties int) {
 	n.Proto.Release(n)
 	g := &sim.Gate{}
 	n.sync.gate = g
-	n.send(home, MsgBarArrive, 0, 0, uint64(parties), id)
+	n.send(home, MsgBarArrive, n.releaseTS(), 0, uint64(parties), id)
 	n.PS.SyncStall += n.waitStall(g, st, causal.StallSync, fmt.Sprintf("barrier %d", id))
 	n.Env.Causal.EndSync(st, n.now())
 }
@@ -125,7 +131,7 @@ func (n *Node) FlagSet(home int, id uint64) {
 	n.observe("release", 0, id, -1)
 	st := n.Env.Causal.BeginSync(n.ID, id, "flag-set", n.now())
 	n.Proto.Release(n)
-	n.send(home, MsgFlagSet, 0, 0, 0, id)
+	n.send(home, MsgFlagSet, n.releaseTS(), 0, 0, id)
 	n.Env.Causal.EndSync(st, n.now())
 }
 
@@ -156,6 +162,16 @@ func (n *Node) Fence() {
 	n.Env.Causal.EndSync(st, n.now())
 }
 
+// releaseTS returns the logical timestamp a release-class sync message
+// carries in its Addr slot: the protocol's ReleaseTS if it keeps one,
+// else 0 (bit-identical to the pre-timestamp encoding).
+func (n *Node) releaseTS() uint64 {
+	if rt, ok := n.Proto.(releaseTimestamper); ok {
+		return rt.ReleaseTS(n)
+	}
+	return 0
+}
+
 // ---- Message handling -----------------------------------------------------
 
 // deliverSync handles synchronization traffic at this node (home side for
@@ -172,7 +188,7 @@ func (n *Node) handleSync(m mesh.Msg) {
 		l := n.sync.lock(id)
 		if !l.held {
 			l.held = true
-			n.send(m.Src, MsgLockGrant, 0, 0, 0, id)
+			n.send(m.Src, MsgLockGrant, l.ts, 0, 0, id)
 		} else {
 			l.queue = append(l.queue, m.Src)
 		}
@@ -182,10 +198,13 @@ func (n *Node) handleSync(m mesh.Msg) {
 		if !l.held {
 			panic(fmt.Sprintf("protocol: node %d freeing un-held lock %d", n.ID, id))
 		}
+		if m.Addr > l.ts {
+			l.ts = m.Addr
+		}
 		if len(l.queue) > 0 {
 			next := l.queue[0]
 			l.queue = l.queue[1:]
-			n.send(next, MsgLockGrant, 0, 0, 0, id)
+			n.send(next, MsgLockGrant, l.ts, 0, 0, id)
 		} else {
 			l.held = false
 		}
@@ -195,16 +214,20 @@ func (n *Node) handleSync(m mesh.Msg) {
 		parties := int(m.Arg)
 		b.arrived++
 		b.waiting = append(b.waiting, m.Src)
+		if m.Addr > b.ts {
+			b.ts = m.Addr
+		}
 		if b.arrived == parties {
 			// Dispatch the releases; the protocol processor pays per
 			// participant.
 			end := n.ppAcquire(causal.KindFanout, 0, uint64(parties)*n.noticeCost())
 			waiting := b.waiting
+			ts := b.ts
 			b.arrived = 0
 			b.waiting = nil
 			n.Env.Eng.At(end, func() {
 				for _, w := range waiting {
-					n.send(w, MsgBarGo, 0, 0, 0, id)
+					n.send(w, MsgBarGo, ts, 0, 0, id)
 				}
 			})
 		}
@@ -212,16 +235,19 @@ func (n *Node) handleSync(m mesh.Msg) {
 	case MsgFlagSet:
 		f := n.sync.flag(id)
 		f.set = true
+		if m.Addr > f.ts {
+			f.ts = m.Addr
+		}
 		waiters := f.waiters
 		f.waiters = nil
 		for _, w := range waiters {
-			n.send(w, MsgFlagGo, 0, 0, 0, id)
+			n.send(w, MsgFlagGo, f.ts, 0, 0, id)
 		}
 
 	case MsgFlagWait:
 		f := n.sync.flag(id)
 		if f.set {
-			n.send(m.Src, MsgFlagGo, 0, 0, 0, id)
+			n.send(m.Src, MsgFlagGo, f.ts, 0, 0, id)
 		} else {
 			f.waiters = append(f.waiters, m.Src)
 		}
@@ -232,6 +258,9 @@ func (n *Node) handleSync(m mesh.Msg) {
 			panic(fmt.Sprintf("protocol: node %d sync grant with no waiter", n.ID))
 		}
 		n.sync.gate = nil
+		if at, ok := n.Proto.(acquireTimestamper); ok {
+			at.AcquireTS(n, m.Addr)
+		}
 		n.Proto.AcquireEnd(n, func() { g.Open() })
 
 	default:

@@ -1,0 +1,503 @@
+package protocol
+
+// Tardis: timestamp coherence in the style of Yu & Devadas (PACT '15).
+// Instead of tracking sharers and fanning out invalidations, the home
+// hands every reader a logical lease [wts, rts] on the block's current
+// version: the copy may satisfy loads while the reader's program
+// timestamp pts stays within the lease. A write creates a new version at
+// ts = max(pts, rts+1) — logically *after* every read the old lease
+// could have served — so stale copies need never be hunted down; they
+// simply expire. Reading a copy drags pts forward to its wts
+// (physiological time), which is what makes the total order real.
+//
+// This file holds the machinery shared by both timestamp protocols (the
+// per-node clock, lease cache, compression/rebase, the requester-side
+// message paths) plus Tardis proper, the sequentially consistent flavor:
+// stores stall until ownership is granted, exactly like SC, so the only
+// relaxation relative to SC is temporal (leases instead of
+// invalidations), not ordering.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/stats"
+)
+
+// tsLease is a node-side cached lease for one line: the version's write
+// timestamp and the end of the read lease granted by the home.
+type tsLease struct {
+	wts, rts uint64
+}
+
+// tardisNode bundles the per-node state of the timestamp protocols:
+// requester-side logical clock and lease cache, and the home-side
+// serialization state for the blocks homed here. Allocated on first
+// touch; nil on nodes running invalidation protocols.
+type tardisNode struct {
+	pts     uint64 // program timestamp
+	bts     uint64 // compression base: leases store deltas from here
+	rebases uint64 // times the base moved (compression overflows)
+
+	leases map[uint64]tsLease // cached leases by block
+
+	// Home side: per-block request serialization. The home services one
+	// request per block at a time; later arrivals queue in FIFO order.
+	busy     map[uint64]bool
+	deferred map[uint64][]mesh.Msg
+	recall   map[uint64]*tardisRecall
+}
+
+// tardisRecall is one open recall episode at a home: the owner has been
+// asked to yield block, and the request that triggered the recall waits
+// for the yield (or nack) to land.
+type tardisRecall struct {
+	owner   int
+	pending mesh.Msg
+}
+
+// td returns the node's timestamp state, allocating it on first touch.
+func (n *Node) td() *tardisNode {
+	if n.tardis == nil {
+		n.tardis = &tardisNode{
+			leases:   make(map[uint64]tsLease),
+			busy:     make(map[uint64]bool),
+			deferred: make(map[uint64][]mesh.Msg),
+			recall:   make(map[uint64]*tardisRecall),
+		}
+	}
+	return n.tardis
+}
+
+// ---- Lease cache and timestamp compression ------------------------------
+
+// tsMaxDelta returns the largest timestamp delta the node's bounded
+// lease storage can represent (the compression knob).
+func (n *Node) tsMaxDelta() uint64 {
+	return 1<<uint(n.Env.Cfg.TSDeltaBits) - 1
+}
+
+// installLease records a lease for block, rebasing the compression base
+// when the new lease's timestamps do not fit as deltas. A rebase clamps
+// surviving leases' wts up to the new base (only weakens the renewal
+// fast path — the home proves currency by wts match) and expires leases
+// whose rts falls below it (a copy we can no longer prove fresh is
+// treated as stale, which is always safe).
+func (n *Node) installLease(block uint64, l tsLease) {
+	td := n.td()
+	if l.rts > td.bts+n.tsMaxDelta() {
+		newBase := l.rts - n.tsMaxDelta()
+		td.rebases++
+		var expired []uint64
+		for b, old := range td.leases {
+			if old.rts < newBase {
+				expired = append(expired, b)
+				continue
+			}
+			if old.wts < newBase {
+				old.wts = newBase
+				td.leases[b] = old
+			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		for _, b := range expired {
+			delete(td.leases, b)
+			n.observe("lease-expire", b, td.pts, -1)
+		}
+		td.bts = newBase
+	}
+	if l.wts < td.bts {
+		l.wts = td.bts
+	}
+	td.leases[block] = l
+}
+
+// bumpPTS advances the program timestamp to ts (monotonic max).
+func (n *Node) bumpPTS(ts uint64) {
+	td := n.td()
+	if ts > td.pts {
+		td.pts = ts
+	}
+}
+
+// ---- Fast paths ----------------------------------------------------------
+
+// tardisReadHit is both timestamp protocols' load fast path: an owned
+// line always satisfies the load; a read copy satisfies it while the
+// lease covers pts. Reading drags pts to the version's wts
+// (physiological time). Pure counter updates — runs on the processor's
+// private clock.
+func tardisReadHit(n *Node, block uint64) bool {
+	line := n.Cache.Lookup(block)
+	if line == nil {
+		return false
+	}
+	td := n.td()
+	l, ok := td.leases[block]
+	if line.State == cache.ReadWrite {
+		// Owner: the copy is the globally latest version.
+		n.bumpPTS(l.wts)
+		return true
+	}
+	if !ok {
+		return false // lease lost to a rebase; refetch
+	}
+	if n.Env.Cfg.Mutation != "skip-lease-renewal" && td.pts > l.rts {
+		return false // lease expired; CPURead renews it
+	}
+	n.bumpPTS(l.wts)
+	return true
+}
+
+// tardisWriteHit is the store fast path: only the exclusive owner writes
+// without messages. The store creates a new version at
+// ts = max(pts, rts+1), after every load the old lease could serve.
+func tardisWriteHit(n *Node, block uint64, word int) bool {
+	line := n.Cache.Lookup(block)
+	if line == nil || line.State != cache.ReadWrite {
+		return false
+	}
+	td := n.td()
+	l := td.leases[block]
+	ts := td.pts
+	if l.rts+1 > ts {
+		ts = l.rts + 1
+	}
+	n.installLease(block, tsLease{wts: ts, rts: ts})
+	td.pts = ts
+	n.commitWB(block, word)
+	return true
+}
+
+// ---- Load path -----------------------------------------------------------
+
+// tardisCPURead performs a load that missed the fast path: merge onto an
+// outstanding transaction, renew an expired lease (control-only when the
+// copy is provably current), or fetch the line with a fresh lease.
+func tardisCPURead(n *Node, block uint64, word int) {
+	td := n.td()
+	for {
+		if tardisReadHit(n, block) {
+			return
+		}
+		if t := n.txn(block); t != nil {
+			if !t.Data.IsOpen() {
+				n.PS.ReadStall += n.waitStall(&t.Data, t.CT, causal.StallRead, "merged read fill")
+			} else {
+				n.PS.ReadStall += n.waitStall(&t.Done, t.CT, causal.StallRead, "transaction completion")
+			}
+			continue
+		}
+		line := n.Cache.Lookup(block)
+		if l, ok := td.leases[block]; ok && line != nil {
+			// Expired lease on a resident copy: ask the home to extend
+			// it, proving currency with the cached wts. The reply is an
+			// ack (copy current) or a full data reply (copy stale).
+			n.countMiss(block, word, true)
+			t := n.newTxn(block)
+			n.send(n.homeOf(block), MsgTRenewReq, block, 0, td.pts, l.wts)
+			n.PS.ReadStall += n.waitStall(&t.Data, t.CT, causal.StallRead, "lease renewal")
+			continue
+		}
+		n.countMiss(block, word, false)
+		t := n.newTxn(block)
+		t.ExpectData = true
+		n.send(n.homeOf(block), MsgTReadReq, block, 0, td.pts, 0)
+		n.PS.ReadStall += n.waitStall(&t.Data, t.CT, causal.StallRead, "read fill")
+		if t.Filled {
+			return
+		}
+	}
+}
+
+// tardisReadReply handles a data reply carrying a fresh lease (a read
+// miss fill, or a renewal whose cached copy turned out stale).
+func tardisReadReply(n *Node, m mesh.Msg) {
+	t := n.txn(m.Addr)
+	if t == nil {
+		panic("tardis: read reply without transaction")
+	}
+	n.installLease(m.Addr, tsLease{wts: m.Arg, rts: m.Aux})
+	n.fillLine(m.Addr, cache.ReadOnly, m.Vals, func() {
+		t.Filled = true
+		n.finishTxn(t)
+		tardisRetireWB(n, m.Addr)
+	})
+}
+
+// tardisRenewAck handles the control-only renewal fast path: the cached
+// copy was current, only the lease end moved.
+func tardisRenewAck(n *Node, m mesh.Msg) {
+	t := n.txn(m.Addr)
+	if t == nil {
+		panic("tardis: renew ack without transaction")
+	}
+	n.installLease(m.Addr, tsLease{wts: m.Arg, rts: m.Aux})
+	n.observe("lease-renew", m.Addr, m.Aux, m.Src)
+	t.Filled = true
+	n.finishTxn(t)
+	tardisRetireWB(n, m.Addr)
+}
+
+// ---- Store path ----------------------------------------------------------
+
+// tardisSendWriteReq opens an ownership transaction for block and asks
+// the home. With a leased resident copy the request carries the cached
+// wts so the home can grant control-only when the copy is current; a
+// bare request asks for data unconditionally.
+func tardisSendWriteReq(n *Node, block uint64) *Txn {
+	td := n.td()
+	t := n.newTxn(block)
+	t.IsWrite = true
+	aux := uint64(wantData)
+	if l, ok := td.leases[block]; ok && n.Cache.Lookup(block) != nil {
+		aux = 2 | l.wts<<2
+	} else {
+		t.ExpectData = true
+	}
+	n.send(n.homeOf(block), MsgTWriteReq, block, 0, td.pts, aux)
+	return t
+}
+
+// tardisWriteReply handles an ownership grant. The store's version
+// timestamp is Arg; data rides along iff the home could not prove our
+// copy current (Aux&1). The buffered store commits in the same event as
+// the grant.
+func tardisWriteReply(n *Node, m mesh.Msg) {
+	t := n.txn(m.Addr)
+	if t == nil {
+		panic("tardis: write reply without transaction")
+	}
+	n.installLease(m.Addr, tsLease{wts: m.Arg, rts: m.Arg})
+	n.bumpPTS(m.Arg)
+	if m.Aux&1 != 0 {
+		n.fillLine(m.Addr, cache.ReadWrite, m.Vals, func() {
+			t.Filled = true
+			n.finishTxn(t)
+			tardisRetireWB(n, m.Addr)
+		})
+		return
+	}
+	// Control-only grant: upgrade the resident copy in place. The copy
+	// can have been evicted while the request was in flight (a
+	// conflicting fill); we are then an owner without data — retireWB's
+	// restart path refetches, and recalls meanwhile find no copy and
+	// nack, which is safe because the evicted copy was clean.
+	if line := n.Cache.Lookup(m.Addr); line != nil {
+		n.Cache.Upgrade(m.Addr)
+	}
+	t.Filled = true
+	n.finishTxn(t)
+	tardisRetireWB(n, m.Addr)
+}
+
+// tardisRetireWB commits buffered stores for block once ownership and
+// data are both present, mirroring the eager protocols' retirement: if
+// the line is owned, drain the write buffer into it; if only a read copy
+// (or nothing) is resident, (re)start the ownership request.
+func tardisRetireWB(n *Node, block uint64) {
+	if n.WB.Find(block) == nil {
+		return
+	}
+	line := n.Cache.Lookup(block)
+	switch {
+	case line != nil && line.State == cache.ReadWrite:
+		words := n.WB.Retire(block).Words
+		for m := words; m != 0; m &= m - 1 {
+			tardisWriteHit(n, block, bits.TrailingZeros64(m))
+		}
+		n.wbRetired()
+	default:
+		if t := n.txn(block); t != nil {
+			t.Done.Subscribe(func() { tardisRetireWB(n, block) })
+			return
+		}
+		tardisSendWriteReq(n, block)
+	}
+}
+
+// ---- Recall (owner side) -------------------------------------------------
+
+// tardisRecalled handles the home's request to yield an owned block: the
+// protocol processor takes the notice, the copy is dropped, and its data
+// travels home. A recall that finds no copy nacks — the owner's eviction
+// write-back is already on the wire ahead of the nack (same FIFO
+// channel), so the home always merges the data before trusting memory.
+func tardisRecalled(n *Node, m mesh.Msg) {
+	end := n.ppAcquire(causal.KindDir, m.Addr, n.noticeCost())
+	n.Env.Eng.At(end, func() { tardisYieldOrNack(n, m) })
+}
+
+// tardisYieldOrNack answers a recall once the protocol processor has
+// taken the notice. An ownership grant whose fill is still in flight —
+// the line sits in the cache read-write but the transaction is open —
+// holds the recall until the fill lands: answering early would yield a
+// copy missing the very store the grant was for, and the write requester
+// behind the recall would restart into the same race, livelocking two
+// contending writers.
+func tardisYieldOrNack(n *Node, m mesh.Msg) {
+	block := m.Addr
+	line := n.Cache.Lookup(block)
+	if line == nil || line.State != cache.ReadWrite {
+		// No owned copy (and any in-flight transaction here is a request
+		// still queued at the home — nacking now is what unblocks it).
+		n.send(m.Src, MsgTNack, block, 0, 0, 0)
+		return
+	}
+	if t := n.txn(block); t != nil {
+		t.Done.Subscribe(func() { tardisYieldOrNack(n, m) })
+		return
+	}
+	// When resumed from the Done subscription this runs ahead of the
+	// reply handler's own retirement; drain the write buffer first so the
+	// yielded copy carries the granted store.
+	tardisRetireWB(n, block)
+	td := n.td()
+	wts := td.leases[block].wts
+	vals := n.copyVals(block)
+	if _, ok := n.Cache.Invalidate(block); ok {
+		n.Env.Class.Lose(n.ID, block, stats.LossCoherence, n.wordsPerLine())
+	}
+	delete(td.leases, block)
+	n.observe("lease-expire", block, td.pts, m.Src)
+	n.sendData(m.Src, MsgTYield, block, n.lineBytes(), ^uint64(0), wts, vals)
+}
+
+// tardisEvict ships a replaced owned line's data home (the home cleared
+// us as owner when the write-back lands); clean read copies drop
+// silently — the home keeps no sharer record to update, which is the
+// protocol's whole point.
+func tardisEvict(n *Node, v cache.Line) {
+	td := n.td()
+	wts := td.leases[v.Block].wts
+	delete(td.leases, v.Block)
+	if v.Dirty != 0 {
+		n.wtPending++
+		n.sendData(n.homeOf(v.Block), MsgTWB, v.Block, n.lineBytes(), ^uint64(0), wts, n.copyVals(v.Block))
+	}
+}
+
+// TardisResidual reports leftover home-side timestamp machinery at the
+// end of a run: a busy block, deferred requests, or an open recall mean
+// a request was admitted and never finished service. Nil for nodes not
+// running a timestamp protocol.
+func (n *Node) TardisResidual() error {
+	td := n.tardis
+	if td == nil {
+		return nil
+	}
+	for b := range td.busy {
+		return fmt.Errorf("block %d still in home service at end of run", b)
+	}
+	for b, q := range td.deferred {
+		if len(q) > 0 {
+			return fmt.Errorf("block %d has %d deferred home request(s) at end of run", b, len(q))
+		}
+	}
+	for b, rc := range td.recall {
+		return fmt.Errorf("block %d has an open recall of node %d at end of run", b, rc.owner)
+	}
+	return nil
+}
+
+// ---- Shared protocol plumbing -------------------------------------------
+
+// tsPaths supplies the fast paths, eviction, message dispatch, and sync
+// timestamp piggybacking shared by both timestamp protocols.
+type tsPaths struct{}
+
+func (tsPaths) ReadHit(n *Node, block uint64) bool            { return tardisReadHit(n, block) }
+func (tsPaths) WriteHit(n *Node, block uint64, word int) bool { return tardisWriteHit(n, block, word) }
+func (tsPaths) Evict(n *Node, v cache.Line)                   { tardisEvict(n, v) }
+func (tsPaths) CPURead(n *Node, block uint64, word int)       { tardisCPURead(n, block, word) }
+
+// ReleaseTS stamps release-class sync messages with the releaser's
+// clock; AcquireTS folds a grant's stamp into the acquirer's clock
+// before AcquireEnd runs. Together they order lease expiry after the
+// releases the program observed (physiological time across sync).
+func (tsPaths) ReleaseTS(n *Node) uint64 { return n.td().pts }
+func (tsPaths) AcquireTS(n *Node, ts uint64) {
+	td := n.td()
+	if ts > td.pts {
+		td.pts = ts
+		n.observe("ts-bump", 0, ts, -1)
+	}
+}
+
+func (tsPaths) Deliver(n *Node, m mesh.Msg) {
+	switch MsgKind(m.Kind) {
+	case MsgTReadReq, MsgTRenewReq, MsgTWriteReq:
+		tardisHomeRequest(n, m)
+	case MsgTWB:
+		tardisHomeWB(n, m)
+	case MsgTYield:
+		tardisHomeYield(n, m)
+	case MsgTNack:
+		tardisHomeNack(n, m)
+	case MsgTReadReply:
+		tardisReadReply(n, m)
+	case MsgTRenewAck:
+		tardisRenewAck(n, m)
+	case MsgTWriteReply:
+		tardisWriteReply(n, m)
+	case MsgTRecall:
+		tardisRecalled(n, m)
+	case MsgWTAck:
+		n.wtPending--
+		n.checkDrain()
+	default:
+		panic("tardis: unexpected message " + MsgKind(m.Kind).String())
+	}
+}
+
+// ---- Tardis (sequentially consistent flavor) -----------------------------
+
+// Tardis is the SC flavor: every store stalls until ownership is
+// granted, so the memory order is exactly SC's and the protocols differ
+// only in how readers learn about writes (lease expiry vs invalidation).
+type Tardis struct{ tsPaths }
+
+func (*Tardis) Name() string    { return "tardis" }
+func (*Tardis) Lazy() bool      { return false }
+func (*Tardis) WriteBack() bool { return true }
+
+// CPUWrite performs a stalling store, mirroring SC: the write buffer is
+// a one-deep MSHR, and the CPU parks until the grant commits the store.
+func (*Tardis) CPUWrite(n *Node, block uint64, word int) {
+	for {
+		if tardisWriteHit(n, block, word) {
+			return
+		}
+		if t := n.txn(block); t != nil {
+			n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "prior transaction")
+			if n.WB.Find(block) == nil {
+				return // a retirement committed our buffered store
+			}
+			continue
+		}
+		if _, ok := n.WB.Put(block, word); !ok {
+			n.stallWBFull()
+			continue
+		}
+		line := n.Cache.Lookup(block)
+		n.countMiss(block, word, line != nil)
+		t := tardisSendWriteReq(n, block)
+		n.PS.WriteStall += n.waitStall(&t.Done, t.CT, causal.StallWrite, "write completion")
+		if n.WB.Find(block) == nil {
+			return
+		}
+	}
+}
+
+func (*Tardis) AcquireBegin(n *Node)            {}
+func (*Tardis) AcquireEnd(n *Node, done func()) { done() }
+
+// Release is a no-op, as under SC: every store already performed before
+// the program moved past it. In-flight eviction write-backs are safe to
+// leave behind — the home defers requests for a recalled block until
+// the owner's (FIFO-ordered) data lands.
+func (*Tardis) Release(n *Node) {}

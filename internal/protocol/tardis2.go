@@ -1,0 +1,104 @@
+package protocol
+
+// Tardis2: the relaxed timestamp protocol (Yu, Liu & Devadas's Tardis
+// 2.0 direction, mapped onto this simulator's release-consistency
+// framing). Stores buffer in the write buffer and retire when the
+// ownership grant arrives, as under ERC; a release drains them. The
+// acquire side replaces the lazy protocols' write-notice invalidations
+// with a purely local lease sweep: the grant carries the releaser's
+// clock, and any cached lease that cannot cover the advanced clock is
+// dropped on the spot — no notice traffic ever existed to process.
+
+import (
+	"sort"
+
+	"lazyrc/internal/cache"
+	"lazyrc/internal/causal"
+	"lazyrc/internal/stats"
+)
+
+// Tardis2 is the relaxed flavor: buffered stores, releases that drain,
+// and an acquire-time lease-expiry sweep.
+type Tardis2 struct{ tsPaths }
+
+func (*Tardis2) Name() string    { return "tardis2" }
+func (*Tardis2) Lazy() bool      { return false }
+func (*Tardis2) WriteBack() bool { return true }
+
+// CPUWrite buffers the store and requests ownership without stalling,
+// mirroring ERC: the write buffer hides the grant latency, and the
+// store commits from the reply handler when ownership lands.
+func (*Tardis2) CPUWrite(n *Node, block uint64, word int) {
+	for {
+		if tardisWriteHit(n, block, word) {
+			return
+		}
+		allocated, ok := n.WB.Put(block, word)
+		if !ok {
+			n.stallWBFull()
+			continue
+		}
+		if !allocated {
+			return // coalesced into an entry already awaiting its grant
+		}
+		if n.txn(block) != nil {
+			return // retirement after the in-flight transaction commits it
+		}
+		line := n.Cache.Lookup(block)
+		n.countMiss(block, word, line != nil)
+		tardisSendWriteReq(n, block)
+		return
+	}
+}
+
+func (*Tardis2) AcquireBegin(n *Node) {}
+
+// AcquireEnd sweeps the lease cache: AcquireTS has already folded the
+// grant's timestamp into pts, so any read copy whose lease ends before
+// pts is stale-by-timestamp and drops now — the moral equivalent of the
+// lazy protocols' acquire-time invalidation, with no write notices to
+// collect or acknowledge. Owned lines are the latest version and stay;
+// in-flight fills keep their transaction (the landing lease is checked
+// against pts on the next read anyway).
+func (*Tardis2) AcquireEnd(n *Node, done func()) {
+	if n.Env.Cfg.Mutation == "skip-lease-renewal" {
+		// Deliberate bug for checker self-tests: paired with ReadHit's
+		// skipped expiry check, acquires never shed stale copies.
+		done()
+		return
+	}
+	td := n.td()
+	var expired []uint64
+	for b, l := range td.leases {
+		if l.rts >= td.pts {
+			continue
+		}
+		line := n.Cache.Lookup(b)
+		if line == nil || line.State == cache.ReadWrite || n.txn(b) != nil {
+			continue
+		}
+		expired = append(expired, b)
+	}
+	if len(expired) == 0 {
+		done()
+		return
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, b := range expired {
+		if _, ok := n.Cache.Invalidate(b); ok {
+			n.Env.Class.Lose(n.ID, b, stats.LossCoherence, n.wordsPerLine())
+			n.PS.InvalsAtAcquire++
+		}
+		delete(td.leases, b)
+		n.observe("lease-expire", b, td.pts, -1)
+	}
+	end := n.ppAcquire(causal.KindNotice, 0, uint64(len(expired))*n.noticeCost())
+	n.Env.Eng.At(end, done)
+}
+
+// Release waits until every buffered store has its grant and every
+// write-back is acknowledged — §2's release conditions, unchanged; only
+// the invalidation half of the protocol went away.
+func (*Tardis2) Release(n *Node) {
+	n.waitDrained()
+}

@@ -1,0 +1,235 @@
+package protocol
+
+// Home side of the timestamp protocols. The directory keeps one lease
+// record per block — wts, rts, and at most one exclusive owner — and no
+// sharer vector at all: readers are never tracked, so nothing fans out
+// when a block is written. The home's only serialization duty is
+// per-block: one request in service at a time, later arrivals deferred
+// in FIFO order, and a write request finding an owner opens a recall
+// episode that completes when the owner's data (or nack) lands.
+
+import (
+	"lazyrc/internal/causal"
+	"lazyrc/internal/directory"
+	"lazyrc/internal/mesh"
+)
+
+// tardisHomeRequest admits a lease request (read, renew, or write),
+// deferring it while the block is in service.
+func tardisHomeRequest(n *Node, m mesh.Msg) {
+	td := n.td()
+	b := m.Addr
+	if td.busy[b] {
+		td.deferred[b] = append(td.deferred[b], m)
+		return
+	}
+	td.busy[b] = true
+	tardisHomeService(n, m)
+}
+
+// tardisHomeService starts servicing one admitted request. An exclusive
+// owner's copy supersedes home memory, so any request — even a renewal —
+// first recalls the owner.
+func tardisHomeService(n *Node, m mesh.Msg) {
+	b := m.Addr
+	l := n.Dir.Lease(b)
+	if l.Owner != directory.NoOwner && l.Owner != m.Src {
+		n.td().recall[b] = &tardisRecall{owner: l.Owner, pending: m}
+		owner := l.Owner
+		end := n.ppAcquire(causal.KindDir, b, n.dirCost())
+		n.Env.Eng.At(end, func() {
+			n.send(owner, MsgTRecall, b, 0, 0, 0)
+		})
+		return
+	}
+	if l.Owner == m.Src {
+		// The owner itself is asking again: a control-only grant raced a
+		// clean eviction, so the node holds ownership with no copy and no
+		// committed words. Home memory is still current; just retake the
+		// grant from scratch.
+		l.Owner = directory.NoOwner
+		n.Dir.CheckLease(b, l)
+	}
+	switch MsgKind(m.Kind) {
+	case MsgTReadReq:
+		tardisHomeRead(n, m)
+	case MsgTRenewReq:
+		if l.Wts == m.Aux {
+			tardisHomeRenew(n, m)
+		} else {
+			tardisHomeRead(n, m) // copy stale: renewal becomes a refetch
+		}
+	case MsgTWriteReq:
+		tardisHomeWrite(n, m)
+	default:
+		panic("tardis: unexpected home request " + MsgKind(m.Kind).String())
+	}
+}
+
+// extendLease grants a read lease covering the requester's clock:
+// rts' = max(rts, pts + LeaseLen, wts).
+func extendLease(l *directory.Lease, pts, leaseLen uint64) {
+	want := pts + leaseLen
+	if want < l.Wts {
+		want = l.Wts
+	}
+	if want > l.Rts {
+		l.Rts = want
+	}
+}
+
+// tardisHomeRead serves a read miss (or a stale-copy renewal): memory
+// access and directory occupancy overlap; the data reply carries the
+// version's wts and the extended lease.
+func tardisHomeRead(n *Node, m mesh.Msg) {
+	memEnd := n.memAccess(n.lineBytes())
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		l := n.Dir.Lease(m.Addr)
+		extendLease(l, m.Arg, n.Env.Cfg.LeaseLen)
+		n.Dir.CheckLease(m.Addr, l)
+		wts, rts := l.Wts, l.Rts
+		n.Env.Eng.At(maxTime(n.now(), memEnd), func() {
+			n.sendData(m.Src, MsgTReadReply, m.Addr, n.lineBytes(), wts, rts, n.homeVals(m.Addr))
+			tardisHomeNext(n, m.Addr)
+		})
+	})
+}
+
+// tardisHomeRenew serves the renewal fast path: the requester's copy is
+// provably current (wts matched), so only the lease end moves and no
+// memory access or data transfer happens at all — the traffic the
+// invalidation protocols can never avoid.
+func tardisHomeRenew(n *Node, m mesh.Msg) {
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		l := n.Dir.Lease(m.Addr)
+		extendLease(l, m.Arg, n.Env.Cfg.LeaseLen)
+		n.Dir.CheckLease(m.Addr, l)
+		n.observe("lease-renew", m.Addr, l.Rts, m.Src)
+		n.send(m.Src, MsgTRenewAck, m.Addr, 0, l.Wts, l.Rts)
+		tardisHomeNext(n, m.Addr)
+	})
+}
+
+// tardisHomeWrite grants exclusive ownership at ts = max(pts, rts+1) —
+// the new version is ordered after every read the outstanding leases
+// could serve, which is why nobody needs to be invalidated. Data rides
+// along only if the requester has no copy or its copy's wts is stale.
+func tardisHomeWrite(n *Node, m mesh.Msg) {
+	l := n.Dir.Lease(m.Addr)
+	wantsData := m.Aux&1 != 0 || (m.Aux&2 != 0 && m.Aux>>2 != l.Wts)
+	var memEnd uint64
+	if wantsData {
+		memEnd = n.memAccess(n.lineBytes())
+	}
+	dirEnd := n.ppAcquire(causal.KindDir, m.Addr, n.dirCost())
+	n.Env.Eng.At(dirEnd, func() {
+		l := n.Dir.Lease(m.Addr)
+		ts := m.Arg
+		if l.Rts+1 > ts {
+			ts = l.Rts + 1
+		}
+		l.Wts, l.Rts, l.Owner = ts, ts, m.Src
+		n.Dir.CheckLease(m.Addr, l)
+		at := n.now()
+		if wantsData {
+			at = maxTime(at, memEnd)
+		}
+		n.Env.Eng.At(at, func() {
+			if wantsData {
+				n.sendData(m.Src, MsgTWriteReply, m.Addr, n.lineBytes(), ts, 1, n.homeVals(m.Addr))
+			} else {
+				n.send(m.Src, MsgTWriteReply, m.Addr, 0, ts, 0)
+			}
+			tardisHomeNext(n, m.Addr)
+		})
+	})
+}
+
+// tardisHomeNext closes one service slot for block: the oldest deferred
+// request enters service, or the block goes idle.
+func tardisHomeNext(n *Node, block uint64) {
+	td := n.td()
+	if q := td.deferred[block]; len(q) > 0 {
+		m := q[0]
+		if len(q) == 1 {
+			delete(td.deferred, block)
+		} else {
+			td.deferred[block] = q[1:]
+		}
+		tardisHomeService(n, m)
+		return
+	}
+	delete(td.busy, block)
+}
+
+// tardisAdoptOwnerCopy merges an owner's returned data (yield or
+// eviction write-back) into home memory and clears ownership. The
+// owner's copy is the globally latest version, so every word merges and
+// its wts supersedes the home's record.
+func tardisAdoptOwnerCopy(n *Node, m mesh.Msg) {
+	n.mergeHome(m.Addr, m.Vals, m.Arg)
+	l := n.Dir.Lease(m.Addr)
+	if l.Owner == m.Src {
+		l.Owner = directory.NoOwner
+	}
+	if m.Aux > l.Wts {
+		l.Wts = m.Aux
+		if l.Rts < l.Wts {
+			l.Rts = l.Wts
+		}
+	}
+	n.Dir.CheckLease(m.Addr, l)
+}
+
+// tardisHomeEpisodeEnd resumes the request that triggered a recall (or,
+// if none is open, just releases the service slot).
+func tardisHomeEpisodeEnd(n *Node, block uint64) {
+	td := n.td()
+	if rc := td.recall[block]; rc != nil {
+		delete(td.recall, block)
+		tardisHomeService(n, rc.pending)
+		return
+	}
+	tardisHomeNext(n, block)
+}
+
+// tardisHomeWB handles an evicted owned block's data arriving home.
+// Values merge at delivery (FIFO order); the modeled memory write and
+// the protocol-processor notice overlap before the ack.
+func tardisHomeWB(n *Node, m mesh.Msg) {
+	tardisAdoptOwnerCopy(n, m)
+	ppEnd := n.ppAcquire(causal.KindDir, m.Addr, n.noticeCost())
+	memEnd := n.memAccess(m.Size)
+	n.Env.Eng.At(maxTime(ppEnd, memEnd), func() {
+		n.send(m.Src, MsgWTAck, m.Addr, 0, 0, 0)
+	})
+}
+
+// tardisHomeYield handles a recalled block's data: adopt the copy, then
+// serve the request the recall was holding.
+func tardisHomeYield(n *Node, m mesh.Msg) {
+	tardisAdoptOwnerCopy(n, m)
+	ppEnd := n.ppAcquire(causal.KindDir, m.Addr, n.noticeCost())
+	memEnd := n.memAccess(m.Size)
+	n.Env.Eng.At(maxTime(ppEnd, memEnd), func() {
+		tardisHomeEpisodeEnd(n, m.Addr)
+	})
+}
+
+// tardisHomeNack handles a recall that found no copy: the owner's
+// eviction write-back travelled the same FIFO channel ahead of this
+// nack, so home memory is already current and ownership already cleared
+// (cleared again here only defensively).
+func tardisHomeNack(n *Node, m mesh.Msg) {
+	l := n.Dir.Lease(m.Addr)
+	if l.Owner == m.Src {
+		l.Owner = directory.NoOwner
+		n.Dir.CheckLease(m.Addr, l)
+	}
+	end := n.ppAcquire(causal.KindDir, m.Addr, n.noticeCost())
+	n.Env.Eng.At(end, func() {
+		tardisHomeEpisodeEnd(n, m.Addr)
+	})
+}

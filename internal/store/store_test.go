@@ -307,3 +307,62 @@ func TestOpenIgnoresAbandonedCompactionTemp(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sweeps(); len(got) != 0 {
+		t.Fatalf("fresh store has sweeps: %v", got)
+	}
+	specs := []json.RawMessage{
+		json.RawMessage(`{"apps":["gauss"],"scale":"tiny"}`),
+		json.RawMessage(`{"targets":["table2"],"procs":8}`),
+	}
+	if err := s.SaveSweeps(specs); err != nil {
+		t.Fatal(err)
+	}
+	// A save replaces, not appends: drop the second entry and re-save.
+	if err := s.SaveSweeps(specs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Sweeps()
+	if len(got) != 1 || !reflect.DeepEqual(got[0], specs[0]) {
+		t.Fatalf("reloaded registry %s, want %s", got, specs[:1])
+	}
+	names, _ := os.ReadDir(dir)
+	for _, n := range names {
+		if strings.HasSuffix(n.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", n.Name())
+		}
+	}
+}
+
+func TestSweepRegistryCorruptSidecarDropped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, sweepsName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Sweeps(); got != nil {
+		t.Fatalf("corrupt sidecar yielded sweeps: %v", got)
+	}
+	if s.Recovered() == 0 {
+		t.Fatal("corrupt sidecar not counted as recovered garbage")
+	}
+}

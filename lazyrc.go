@@ -7,10 +7,12 @@
 //   - a deterministic execution-driven multiprocessor simulator — mesh
 //     interconnect, finite direct-mapped caches, write buffers,
 //     distributed directories, and contended memory modules;
-//   - four coherence protocols: sequential consistency (SC), eager
+//   - six coherence protocols: sequential consistency (SC), eager
 //     release consistency in the style of DASH (ERC), the paper's lazy
-//     release consistency (LRC), and the lazier variant that defers
-//     write notices to release points (LRCExt);
+//     release consistency (LRC), the lazier variant that defers write
+//     notices to release points (LRCExt), and two timestamp-based
+//     lease protocols with no invalidation traffic at all (Tardis and
+//     its relaxed Tardis 2.0 successor);
 //   - the paper's seven SPLASH-suite workloads re-implemented as real,
 //     verified computations over the simulated shared address space;
 //   - an experiment harness that regenerates every table and figure of
@@ -93,7 +95,7 @@ const (
 )
 
 // NewMachine builds a machine running the named protocol: "sc", "erc",
-// "lrc", or "lrc-ext".
+// "lrc", "lrc-ext", "tardis", or "tardis2".
 func NewMachine(cfg Config, proto string) (*Machine, error) {
 	return machine.New(cfg, proto)
 }

@@ -41,10 +41,10 @@ func ExampleRunApp() {
 	// Output: verified: true finished: true
 }
 
-// ExampleProtocols lists the four protocols under evaluation.
+// ExampleProtocols lists the six protocols under evaluation.
 func ExampleProtocols() {
 	fmt.Println(lazyrc.Protocols())
-	// Output: [sc erc lrc lrc-ext]
+	// Output: [sc erc lrc lrc-ext tardis tardis2]
 }
 
 func TestAppNamesStable(t *testing.T) {
