@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"lazyrc/internal/api"
+	"lazyrc/internal/obs"
 	"lazyrc/internal/store"
 )
 
@@ -43,14 +45,24 @@ func main() {
 		storeDir = flag.String("store", "", "segment-store directory for persistent results (empty: in-memory only)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight work is canceled")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("lrcsimd", obs.ReadBuildInfo().String())
+		return
+	}
 	if err := run(*addr, *storeDir, *workers, *grace); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr, storeDir string, workers int, grace time.Duration) error {
+	// Two log streams, one destination: the legacy line logger keeps the
+	// startup/shutdown banner; slog carries the structured request and
+	// job-lifecycle records the daemon's observability layer emits.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -64,7 +76,7 @@ func run(addr, storeDir string, workers int, grace time.Duration) error {
 		log.Printf("store: %s (%d results)", storeDir, st.Len())
 	}
 
-	svc := api.NewService(workers, st)
+	svc := api.NewService(workers, st, logger)
 	srv := &http.Server{Handler: api.NewServer(svc)}
 
 	ln, err := net.Listen("tcp", addr)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lazyrc/internal/exp"
+	"lazyrc/internal/obs"
 	"lazyrc/internal/runner"
 )
 
@@ -60,7 +61,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("api: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+		return fmt.Errorf("api: %s %s: %s: %s%s", method, path, resp.Status,
+			strings.TrimSpace(string(msg)), requestIDSuffix(resp))
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -69,9 +71,30 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// requestIDSuffix renders the response's X-Request-Id for error
+// messages, so a client-side failure names the exact server-side log
+// lines to grep.
+func requestIDSuffix(resp *http.Response) string {
+	if id := resp.Header.Get(obs.RequestIDHeader); id != "" {
+		return " (request_id " + id + ")"
+	}
+	return ""
+}
+
 // Health probes the daemon's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz probes the daemon's readiness endpoint: an error means the
+// daemon is absent, starting, or draining — stop routing work to it.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Metrics fetches the daemon's Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics")
 }
 
 // WaitHealthy polls the liveness endpoint until the daemon answers or
@@ -144,7 +167,8 @@ func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("api: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+		return nil, fmt.Errorf("api: GET %s: %s: %s%s", path, resp.Status,
+			strings.TrimSpace(string(msg)), requestIDSuffix(resp))
 	}
 	return io.ReadAll(resp.Body)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lazyrc/internal/causal"
+	"lazyrc/internal/obs"
 	"lazyrc/internal/runner"
 	"lazyrc/internal/store"
 )
@@ -29,10 +30,40 @@ func startDaemon(t *testing.T, dir string, workers int) *daemon {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(workers, st)
+	svc := NewService(workers, st, nil)
 	ts := httptest.NewServer(NewServer(svc))
 	hc := ts.Client()
 	return &daemon{st: st, svc: svc, ts: ts, c: &Client{Base: ts.URL, HTTPClient: hc}}
+}
+
+// scrapeMetrics fetches /metrics through the typed client and parses it
+// with the strict exposition parser — every scrape in the e2e test is
+// also a format-validity check.
+func scrapeMetrics(t *testing.T, ctx context.Context, d *daemon) map[string]*obs.ParsedFamily {
+	t.Helper()
+	raw, err := d.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, raw)
+	}
+	return fams
+}
+
+// jobsCounter reads one kind's value from lrcsimd_jobs_total.
+func jobsCounter(fams map[string]*obs.ParsedFamily, kind string) float64 {
+	f, ok := fams["lrcsimd_jobs_total"]
+	if !ok {
+		return -1
+	}
+	for _, sm := range f.Samples {
+		if sm.Label("kind") == kind {
+			return sm.Value
+		}
+	}
+	return -1
 }
 
 // stop tears the incarnation down in daemon order: drain the service,
@@ -178,6 +209,52 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("store stats after cold run: %+v", stats.Store)
 	}
 
+	// --- Observability: the exposition parses, covers every subsystem,
+	// and its lifecycle counters agree with the cold run. ---
+	fams := scrapeMetrics(t, ctx, d1)
+	for _, name := range []string{
+		"lrcsimd_build_info",
+		"lrcsimd_http_requests_total",
+		"lrcsimd_http_request_duration_seconds",
+		"lrcsimd_jobs_total",
+		"lrcsimd_pool_workers",
+		"lrcsimd_bus_published_total",
+		"lrcsimd_store_entries",
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Fatalf("exposition missing family %s", name)
+		}
+	}
+	if got := jobsCounter(fams, "executed"); got != 6 {
+		t.Fatalf("cold exposition executed=%v, want 6", got)
+	}
+	if got := jobsCounter(fams, "cache_hit"); got != 0 {
+		t.Fatalf("cold exposition cache_hit=%v, want 0", got)
+	}
+
+	// --- Every response carries X-Request-Id; a supplied ID is echoed. ---
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d1.ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "e2e-probe-1")
+	resp, err := d1.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "e2e-probe-1" {
+		t.Fatalf("supplied request ID echoed as %q", got)
+	}
+	resp, err = d1.ts.Client().Get(d1.ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Fatal("response without a supplied ID carries no generated X-Request-Id")
+	}
+
 	d1.stop(t)
 
 	// --- Restart on the same store directory: the resubmitted sweep is
@@ -234,6 +311,16 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if js2.Result.Fingerprint != jobFP {
 		t.Fatal("job fingerprint drifted across restart")
+	}
+
+	// --- Warm-restart exposition: the boot replay is pure cache — zero
+	// executions, every cell a store hit. ---
+	fams2 := scrapeMetrics(t, ctx, d2)
+	if got := jobsCounter(fams2, "executed"); got != 0 {
+		t.Fatalf("warm exposition executed=%v, want 0", got)
+	}
+	if got := jobsCounter(fams2, "cache_hit"); got < 6 {
+		t.Fatalf("warm exposition cache_hit=%v, want >= 6", got)
 	}
 
 	d2.stop(t)

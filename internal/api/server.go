@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"lazyrc/internal/causal"
 	"lazyrc/internal/exp"
@@ -14,7 +15,11 @@ import (
 
 // NewServer binds the service to an HTTP mux. The surface:
 //
-//	GET    /healthz                     liveness probe
+//	GET    /healthz                     liveness probe (200 until the process dies)
+//	GET    /readyz                      readiness probe (503 once draining)
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /ops                         live operational dashboard (HTML)
+//	GET    /debug/pprof/...             runtime profiling
 //	GET    /api/v1/stats                runner/store/bus counters
 //	POST   /api/v1/compact              store compaction pass
 //	POST   /api/v1/sweeps               submit an exp.Spec    → SweepStatus
@@ -34,12 +39,42 @@ import (
 // Submissions are deduplicated by content identity, so the API is safe
 // to retry: re-POSTing a spec returns the existing record (200) instead
 // of creating a duplicate (201).
+//
+// Every response carries an X-Request-Id header (echoed from the
+// request or generated), every request produces one structured log
+// line, and every route reports into the service's metrics registry.
 func NewServer(s *Service) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+
+	// Liveness and readiness are deliberately split: /healthz answers 200
+	// for as long as the process can serve at all, while /readyz flips to
+	// 503 the moment Drain begins, so load balancers pull the daemon out
+	// of rotation before the listener closes.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+
+	mux.Handle("GET /metrics", s.Registry().Handler())
+	mux.HandleFunc("GET /ops", func(w http.ResponseWriter, r *http.Request) {
+		serveOps(s, w)
+	})
+
+	// pprof must be registered on this mux explicitly: the daemon serves
+	// its own mux, not http.DefaultServeMux, so the package's init-time
+	// registrations never apply.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -60,7 +95,7 @@ func NewServer(s *Service) http.Handler {
 			httpError(w, fmt.Errorf("api: bad sweep spec: %w", err))
 			return
 		}
-		st, created, err := s.SubmitSweep(spec)
+		st, created, err := s.SubmitSweep(r.Context(), spec)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -123,7 +158,7 @@ func NewServer(s *Service) http.Handler {
 			httpError(w, fmt.Errorf("api: bad job request: %w", err))
 			return
 		}
-		st, created, err := s.SubmitJob(req)
+		st, created, err := s.SubmitJob(r.Context(), req)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -164,7 +199,16 @@ func NewServer(s *Service) http.Handler {
 		serveFirehose(s, w, r)
 	})
 
-	return mux
+	// The middleware labels each request with the mux's route pattern
+	// ("GET /api/v1/sweeps/{id}"), not the raw path, so metric
+	// cardinality stays bounded no matter what clients request.
+	route := func(r *http.Request) string {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			return pattern
+		}
+		return "unrouted"
+	}
+	return s.HTTPMetrics().Middleware(mux, route, s.Logger())
 }
 
 // serveFirehose streams every job lifecycle event as SSE until the

@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"lazyrc/internal/apps"
 	"lazyrc/internal/bus"
 	"lazyrc/internal/config"
 	"lazyrc/internal/exp"
+	"lazyrc/internal/obs"
 	"lazyrc/internal/runner"
 	"lazyrc/internal/store"
 )
@@ -31,6 +34,19 @@ type Service struct {
 	st *store.Store // nil when running without persistence
 	b  *bus.Bus[runner.Event]
 
+	// Observability plane (wall-clock, never the simulated clock): the
+	// metrics registry every endpoint and subsystem reports into, the
+	// structured logger, and the per-route HTTP metric families the
+	// server middleware feeds.
+	reg   *obs.Registry
+	log   *slog.Logger
+	httpm *obs.HTTPMetrics
+	build obs.BuildInfo
+	start time.Time
+
+	jobEvents  *obs.CounterVec // runner lifecycle events by kind
+	heartbeats *obs.Counter
+
 	runCtx context.Context // parent of every submission's context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -48,6 +64,9 @@ type Service struct {
 // which reportJSON/reportHTML are immutable.
 type sweepState struct {
 	status SweepStatus
+	// reqID is the submitting request's ID, stamped into every
+	// lifecycle log line so one grep follows the request end to end.
+	reqID string
 	// fps is the sweep's cell identity set; doneFPs the subset that has
 	// reached a terminal state. Counter attribution stops at the first
 	// terminal event per fingerprint, so the evaluator's post-sweep memo
@@ -65,48 +84,150 @@ type sweepState struct {
 // jobState is one directly submitted job's record.
 type jobState struct {
 	job    runner.Job
+	reqID  string
 	status JobStatus
 	cancel context.CancelFunc
 	done   chan struct{}
 }
 
 // NewService builds a service executing on a pool of the given size,
-// persisting through st (nil disables persistence). The bus, runner, and
-// job registry start empty; the sweep registry is reloaded from the
-// store's persisted sidecar, resurrecting every sweep a previous daemon
-// incarnation accepted — the re-runs resolve from the result store, so
-// a warm boot restores finished reports without simulating. Close tears
-// everything down.
-func NewService(workers int, st *store.Store) *Service {
+// persisting through st (nil disables persistence) and logging through
+// logger (nil discards). The bus, runner, and job registry start empty;
+// the sweep registry is reloaded from the store's persisted sidecar,
+// resurrecting every sweep a previous daemon incarnation accepted — the
+// re-runs resolve from the result store, so a warm boot restores
+// finished reports without simulating. Close tears everything down.
+func NewService(workers int, st *store.Store, logger *slog.Logger) *Service {
 	var rstore runner.ResultStore
 	if st != nil {
 		rstore = st
+	}
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		rn:     runner.New(workers, rstore),
 		st:     st,
 		b:      bus.New[runner.Event](),
+		reg:    obs.NewRegistry(),
+		log:    logger,
+		start:  time.Now(),
 		runCtx: ctx,
 		cancel: cancel,
 		sweeps: make(map[string]*sweepState),
 		jobs:   make(map[string]*jobState),
 	}
+	s.registerMetrics()
 	s.rn.Emit = s.onEvent
 	if st != nil {
+		// Resurrection submissions carry a synthetic request ID so their
+		// lifecycle log lines are distinguishable from client traffic.
+		bootCtx := obs.WithRequestID(context.Background(), "boot")
 		for _, raw := range st.Sweeps() {
 			var spec exp.Spec
 			if err := json.Unmarshal(raw, &spec); err != nil {
 				continue // schema drift: skip, the registry rewrites on next submit
 			}
-			s.SubmitSweep(spec) // a spec that no longer validates is dropped
+			s.SubmitSweep(bootCtx, spec) // a spec that no longer validates is dropped
 		}
 	}
 	return s
 }
 
+// registerMetrics builds the daemon's metric inventory: runner
+// lifecycle counters (folded from the Emit stream), and func-backed
+// gauges bridging the pool/bus/store Stats snapshots into the
+// exposition. Wall-clock plane only — nothing here observes simulated
+// time.
+func (s *Service) registerMetrics() {
+	s.build = obs.RegisterBuildInfo(s.reg, "lrcsimd")
+	s.httpm = obs.NewHTTPMetrics(s.reg, "lrcsimd")
+
+	s.jobEvents = s.reg.CounterVec("lrcsimd_jobs_total",
+		"Job lifecycle events by kind: executed (fresh simulations), "+
+			"cache_hit (served from the persistent store), deduped (resolved "+
+			"by an identical in-flight or finished job), done, failed "+
+			"(panics and construction errors), canceled, queued.",
+		"kind")
+	// Pre-create every kind at zero: a warm daemon's executed=0 is a
+	// statement the exposition must make, not an absent series.
+	for _, kind := range []string{"queued", "executed", "cache_hit", "deduped", "done", "failed", "canceled"} {
+		s.jobEvents.With(kind)
+	}
+	s.heartbeats = s.reg.Counter("lrcsimd_job_heartbeats_total",
+		"Progress heartbeats received from running simulations.")
+
+	s.reg.GaugeFunc("lrcsimd_pool_workers", "Simulation worker pool size.",
+		func() float64 { return float64(s.rn.Pool().Workers) })
+	s.reg.GaugeFunc("lrcsimd_pool_running", "Jobs holding a worker slot right now.",
+		func() float64 { return float64(s.rn.Pool().Running) })
+	s.reg.GaugeFunc("lrcsimd_pool_queued", "Submissions in flight without a worker slot (queued or deduplicating).",
+		func() float64 { return float64(s.rn.Pool().Queued) })
+
+	s.reg.GaugeFunc("lrcsimd_bus_subscribers", "Attached event-bus subscribers (SSE streams).",
+		func() float64 { return float64(s.b.Stats().Subscribers) })
+	s.reg.CounterFunc("lrcsimd_bus_published_total", "Events published to the bus.",
+		func() float64 { return float64(s.b.Stats().Published) })
+	s.reg.CounterFunc("lrcsimd_bus_dropped_total", "Per-subscriber deliveries lost to full buffers.",
+		func() float64 { return float64(s.b.Stats().Dropped) })
+
+	s.reg.GaugeFunc("lrcsimd_sweeps", "Sweeps registered (all states).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.sweeps)) })
+	s.reg.GaugeFunc("lrcsimd_submitted_jobs", "Directly submitted jobs registered (all states).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.jobs)) })
+	s.reg.GaugeFunc("lrcsimd_uptime_seconds", "Seconds since the service was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	if s.st == nil {
+		return
+	}
+	s.reg.GaugeFunc("lrcsimd_store_segments", "On-disk segment files.",
+		func() float64 { return float64(s.st.Stats().Segments) })
+	s.reg.GaugeFunc("lrcsimd_store_entries", "Live fingerprints in the store index.",
+		func() float64 { return float64(s.st.Stats().Entries) })
+	s.reg.GaugeFunc("lrcsimd_store_live_bytes", "Bytes of latest-line-per-fingerprint payload.",
+		func() float64 { return float64(s.st.Stats().LiveBytes) })
+	s.reg.GaugeFunc("lrcsimd_store_dead_bytes", "Bytes a compaction would reclaim.",
+		func() float64 { return float64(s.st.Stats().DeadBytes()) })
+	s.reg.CounterFunc("lrcsimd_store_appends_total", "Results appended to the store.",
+		func() float64 { return float64(s.st.Stats().Appends) })
+	s.reg.CounterFunc("lrcsimd_store_lookups_total", "Index lookups served.",
+		func() float64 { return float64(s.st.Stats().Lookups) })
+	s.reg.CounterFunc("lrcsimd_store_misses_total", "Index lookups that found nothing.",
+		func() float64 { return float64(s.st.Stats().Misses) })
+	s.reg.CounterFunc("lrcsimd_store_compactions_total", "Compaction passes run.",
+		func() float64 { return float64(s.st.Stats().Compactions) })
+	s.reg.CounterFunc("lrcsimd_store_corrupt_lines_total", "Corrupt lines dropped while loading.",
+		func() float64 { return float64(s.st.Stats().DroppedLines) })
+}
+
 // Runner exposes the shared pool (tests inspect its Meta).
 func (s *Service) Runner() *runner.Runner { return s.rn }
+
+// Registry exposes the metrics registry (the /metrics and /ops
+// endpoints render from it).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Logger exposes the structured logger the HTTP middleware shares.
+func (s *Service) Logger() *slog.Logger { return s.log }
+
+// HTTPMetrics exposes the per-route HTTP families for the server
+// middleware. Registered once in NewService so binding multiple servers
+// to one service cannot double-register.
+func (s *Service) HTTPMetrics() *obs.HTTPMetrics { return s.httpm }
+
+// Build exposes the binary's build identity.
+func (s *Service) Build() obs.BuildInfo { return s.build }
+
+// Draining reports whether shutdown has begun — the readiness signal:
+// /readyz turns 503 the moment this turns true, while /healthz stays
+// 200 until the process exits.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
 
 // Subscribe attaches an event-stream subscriber to the daemon's bus.
 func (s *Service) Subscribe(buffer int) *bus.Sub[runner.Event] {
@@ -114,10 +235,29 @@ func (s *Service) Subscribe(buffer int) *bus.Sub[runner.Event] {
 }
 
 // onEvent is the runner's Emit hook: every job lifecycle event is fanned
-// out to bus subscribers and folded into the counters of every live
-// sweep whose cell set contains the event's fingerprint.
+// out to bus subscribers, folded into the metrics registry, and folded
+// into the counters of every live sweep whose cell set contains the
+// event's fingerprint.
 func (s *Service) onEvent(ev runner.Event) {
 	s.b.Publish(ev)
+	switch ev.Kind {
+	case runner.EventQueued:
+		s.jobEvents.With("queued").Inc()
+	case runner.EventRunning:
+		s.jobEvents.With("executed").Inc()
+	case runner.EventCached:
+		s.jobEvents.With("cache_hit").Inc()
+	case runner.EventDedup:
+		s.jobEvents.With("deduped").Inc()
+	case runner.EventDone:
+		s.jobEvents.With("done").Inc()
+	case runner.EventFailed:
+		s.jobEvents.With("failed").Inc()
+	case runner.EventCanceled:
+		s.jobEvents.With("canceled").Inc()
+	case runner.EventHeartbeat:
+		s.heartbeats.Inc()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, id := range s.order {
@@ -151,8 +291,11 @@ func (s *Service) onEvent(ev runner.Event) {
 // or repeated submissions of the same normalized spec share one record
 // (and the cells themselves are further deduplicated per fingerprint by
 // the runner, so even distinct overlapping sweeps simulate a shared cell
-// once). The bool reports whether this call created the sweep.
-func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
+// once). The bool reports whether this call created the sweep. ctx
+// carries the submitting request's ID (obs.RequestID), which is stamped
+// into every lifecycle log line; it does NOT bound the sweep's
+// execution — the sweep outlives the request.
+func (s *Service) SubmitSweep(submitCtx context.Context, spec exp.Spec) (SweepStatus, bool, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return SweepStatus{}, false, err
@@ -162,6 +305,7 @@ func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
 		return SweepStatus{}, false, err
 	}
 	id := norm.ID()
+	reqID := obs.RequestID(submitCtx)
 
 	s.mu.Lock()
 	if sw, ok := s.sweeps[id]; ok {
@@ -181,6 +325,7 @@ func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
 			Spec:  norm,
 			Jobs:  len(jobs),
 		},
+		reqID:   reqID,
 		fps:     make(map[string]bool, len(jobs)),
 		doneFPs: make(map[string]bool, len(jobs)),
 		cancel:  cancel,
@@ -195,6 +340,7 @@ func (s *Service) SubmitSweep(spec exp.Spec) (SweepStatus, bool, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.log.Info("sweep submitted", "sweep", id, "jobs", len(jobs), "request_id", reqID)
 	s.persistSweeps()
 	go s.runSweep(ctx, sw, norm)
 	return st, true, nil
@@ -271,7 +417,6 @@ func (s *Service) runSweep(ctx context.Context, sw *sweepState, spec exp.Spec) {
 	htmlErr := exp.WriteHTML(&htmlBuf, rep)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sw.reportJSON = jsonBuf.Bytes()
 	sw.reportHTML = htmlBuf.Bytes()
 	switch {
@@ -292,6 +437,14 @@ func (s *Service) runSweep(ctx context.Context, sw *sweepState, spec exp.Spec) {
 			sw.status.Error = firstFail.Error()
 		}
 	}
+	st := sw.status
+	s.mu.Unlock()
+
+	s.log.Info("sweep finished",
+		"sweep", st.ID, "state", string(st.State),
+		"executed", st.Executed, "from_cache", st.FromCache,
+		"deduped", st.Deduped, "failed", st.Failed,
+		"request_id", sw.reqID)
 }
 
 // Sweep returns a sweep's current status.
@@ -417,13 +570,16 @@ func materializeJob(req JobRequest) (runner.Job, error) {
 
 // SubmitJob registers one job for execution and returns its status.
 // Like sweeps, submission is singleflight on the job's fingerprint. The
-// bool reports whether this call created the job.
-func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
+// bool reports whether this call created the job. submitCtx carries the
+// submitting request's ID for lifecycle log lines; it does not bound
+// execution.
+func (s *Service) SubmitJob(submitCtx context.Context, req JobRequest) (JobStatus, bool, error) {
 	job, err := materializeJob(req)
 	if err != nil {
 		return JobStatus{}, false, err
 	}
 	fp := job.Fingerprint()
+	reqID := obs.RequestID(submitCtx)
 
 	s.mu.Lock()
 	if js, ok := s.jobs[fp]; ok {
@@ -437,7 +593,8 @@ func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
 	}
 	ctx, cancel := context.WithCancel(s.runCtx)
 	js := &jobState{
-		job: job,
+		job:   job,
+		reqID: reqID,
 		status: JobStatus{
 			FP:    fp,
 			State: StateQueued,
@@ -454,6 +611,7 @@ func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.log.Info("job submitted", "fp", fp, "app", job.App, "proto", job.Proto, "request_id", reqID)
 	go func() {
 		defer s.wg.Done()
 		defer close(js.done)
@@ -462,7 +620,6 @@ func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
 		s.mu.Unlock()
 		res := s.rn.Do(ctx, job)
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		switch {
 		case res.Canceled:
 			js.status.State = StateCanceled
@@ -475,6 +632,11 @@ func (s *Service) SubmitJob(req JobRequest) (JobStatus, bool, error) {
 			js.status.Cached = res.Cached
 			js.status.Result = res
 		}
+		state := js.status.State
+		s.mu.Unlock()
+		s.log.Info("job finished",
+			"fp", fp, "state", string(state), "cached", res.Cached,
+			"request_id", reqID)
 	}()
 	return st, true, nil
 }
@@ -594,8 +756,14 @@ func (s *Service) Compact() (store.Stats, error) {
 // the abandoned work to unwind before returning ctx's error.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
+	alreadyDraining := s.draining
 	s.draining = true
 	s.mu.Unlock()
+	if !alreadyDraining {
+		// From this instant /readyz answers 503 while /healthz stays 200:
+		// load balancers stop routing before the listener goes away.
+		s.log.Info("drain started")
+	}
 
 	finished := make(chan struct{})
 	go func() {

@@ -1,7 +1,11 @@
 package api
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -9,6 +13,7 @@ import (
 	"time"
 
 	"lazyrc/internal/exp"
+	"lazyrc/internal/obs"
 	"lazyrc/internal/runner"
 )
 
@@ -57,7 +62,7 @@ func TestSweepSingleflight(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	svc := NewService(4, nil)
+	svc := NewService(4, nil, nil)
 	log := watchEvents(svc)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
@@ -125,13 +130,13 @@ func TestSweepCancellation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	svc := NewService(1, nil)
+	svc := NewService(1, nil, nil)
 	defer svc.Close(context.Background())
 
 	// Every app on fig4 at tiny scale: enough cells that one worker
 	// cannot finish before the cancel lands.
 	spec := exp.Spec{Targets: []string{"fig4"}, Scale: "tiny", Procs: 4, Seed: 1}
-	st, created, err := svc.SubmitSweep(spec)
+	st, created, err := svc.SubmitSweep(context.Background(), spec)
 	if err != nil || !created {
 		t.Fatalf("submit: created=%v err=%v", created, err)
 	}
@@ -165,17 +170,17 @@ func TestSweepCancellation(t *testing.T) {
 // TestSubmitRejectsBadSpecs: validation failures surface as errors, not
 // sweeps.
 func TestSubmitRejectsBadSpecs(t *testing.T) {
-	svc := NewService(1, nil)
+	svc := NewService(1, nil, nil)
 	defer svc.Close(context.Background())
-	if _, _, err := svc.SubmitSweep(exp.Spec{Targets: []string{"fig99"}}); err == nil {
+	if _, _, err := svc.SubmitSweep(context.Background(), exp.Spec{Targets: []string{"fig99"}}); err == nil {
 		t.Fatal("unknown target accepted")
 	}
-	if _, _, err := svc.SubmitJob(JobRequest{App: "doom", Proto: "lrc"}); err == nil {
+	if _, _, err := svc.SubmitJob(context.Background(), JobRequest{App: "doom", Proto: "lrc"}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 	// Protocol names are validated at simulation time; a bad one must
 	// fail the job rather than wedge it.
-	st, _, err := svc.SubmitJob(JobRequest{App: "gauss", Scale: "tiny", Proto: "warp", Procs: 4})
+	st, _, err := svc.SubmitJob(context.Background(), JobRequest{App: "gauss", Scale: "tiny", Proto: "warp", Procs: 4})
 	if err != nil {
 		return // rejected up front: also fine
 	}
@@ -191,20 +196,115 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 }
 
 // TestDrainRefusesNewWork: after Drain begins, submissions are rejected
-// with ErrDraining (the HTTP layer maps it to 503).
+// with ErrDraining (the HTTP layer maps it to 503), and the probe split
+// holds: /readyz answers 503 from the drain on while /healthz stays 200
+// until the process dies.
 func TestDrainRefusesNewWork(t *testing.T) {
-	svc := NewService(1, nil)
-	if err := svc.Close(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := svc.SubmitSweep(tinySpec()); err != ErrDraining {
-		t.Fatalf("submit after drain: %v, want ErrDraining", err)
-	}
+	svc := NewService(1, nil, nil)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
 	c := &Client{Base: ts.URL, HTTPClient: ts.Client()}
+
+	// Before the drain both probes answer.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Readyz(context.Background()); err != nil {
+		t.Fatalf("readyz before drain: %v", err)
+	}
+
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.SubmitSweep(context.Background(), tinySpec()); err != ErrDraining {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
 	_, err := c.SubmitSweep(context.Background(), tinySpec())
 	if err == nil || !strings.Contains(err.Error(), "503") {
 		t.Fatalf("drained daemon answered %v, want 503", err)
 	}
+	// Readiness drops with the drain; liveness does not.
+	if err := c.Readyz(context.Background()); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("readyz after drain: %v, want 503", err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz must stay 200 through the drain: %v", err)
+	}
+}
+
+// TestRequestIDThreading: the submitting request's X-Request-Id is
+// echoed on the response, stamped into the HTTP access line, and
+// carried by the sweep's lifecycle lines — one grep follows the request
+// from ingress to the sweep's terminal state.
+func TestRequestIDThreading(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var buf syncLogBuffer
+	svc := NewService(4, nil, slog.New(slog.NewTextHandler(&buf, nil)))
+	defer svc.Close(context.Background())
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	body, _ := json.Marshal(tinySpec())
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "trace-me-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "trace-me-42" {
+		t.Fatalf("response echoed request ID %q, want trace-me-42", got)
+	}
+
+	done, err := svc.SweepDone(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	logs := buf.String()
+	for _, want := range []string{
+		`msg=http`, `request_id=trace-me-42`,
+		`msg="sweep submitted"`, `msg="sweep finished"`,
+	} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("log output missing %q:\n%s", want, logs)
+		}
+	}
+	// Every lifecycle line for this sweep carries the submitting ID.
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "sweep submitted") || strings.Contains(line, "sweep finished") {
+			if !strings.Contains(line, "request_id=trace-me-42") {
+				t.Fatalf("lifecycle line lost the request ID: %s", line)
+			}
+		}
+	}
+}
+
+// syncLogBuffer is a mutex-guarded bytes.Buffer for concurrent slog use.
+type syncLogBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncLogBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncLogBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

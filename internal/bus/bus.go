@@ -11,6 +11,7 @@
 package bus
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -23,7 +24,9 @@ type Bus[T any] struct {
 	subs      map[*Sub[T]]struct{}
 	closed    bool
 	published uint64
+	delivered uint64
 	dropped   uint64
+	nextID    uint64
 }
 
 // New returns an empty bus.
@@ -43,6 +46,8 @@ func (b *Bus[T]) Subscribe(buffer int) *Sub[T] {
 	s := &Sub[T]{b: b, ch: make(chan T, buffer)}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.nextID++
+	s.id = b.nextID
 	if b.closed {
 		// A subscription to a closed bus yields an already-closed
 		// channel: ranges terminate immediately instead of hanging.
@@ -67,6 +72,8 @@ func (b *Bus[T]) Publish(v T) {
 	for s := range b.subs {
 		select {
 		case s.ch <- v:
+			atomic.AddUint64(&s.delivered, 1)
+			b.delivered++
 		default:
 			atomic.AddUint64(&s.dropped, 1)
 			b.dropped++
@@ -91,31 +98,68 @@ func (b *Bus[T]) Close() {
 	b.subs = make(map[*Sub[T]]struct{})
 }
 
+// SubStats is one attached subscriber's fanout health. A subscriber's
+// identity is its subscription ordinal (stable for the life of the
+// bus); Buffered is how many events sit in its channel awaiting the
+// reader right now, and Delivered+Dropped is every event published
+// while it was attached.
+type SubStats struct {
+	ID        uint64 `json:"id"`
+	Buffered  int    `json:"buffered"`
+	Cap       int    `json:"cap"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
 // Stats is a snapshot of the bus's fanout health.
 type Stats struct {
 	// Subscribers is the number of currently attached subscribers.
 	Subscribers int `json:"subscribers"`
 	// Published counts Publish calls since New.
 	Published uint64 `json:"published"`
-	// Dropped counts deliveries lost to full subscriber buffers,
-	// summed over all subscribers (including departed ones).
-	Dropped uint64 `json:"dropped"`
+	// Delivered counts successful per-subscriber deliveries; Dropped
+	// counts deliveries lost to full subscriber buffers. Both sum over
+	// all subscribers, including departed ones.
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	// Subs describes each currently attached subscriber, in
+	// subscription order — the per-subscriber view that identifies
+	// *which* client is too slow, not just that one is.
+	Subs []SubStats `json:"subs,omitempty"`
 }
 
-// Stats snapshots the bus counters.
+// Stats snapshots the bus counters, including the per-subscriber view.
 func (b *Bus[T]) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return Stats{Subscribers: len(b.subs), Published: b.published, Dropped: b.dropped}
+	st := Stats{
+		Subscribers: len(b.subs),
+		Published:   b.published,
+		Delivered:   b.delivered,
+		Dropped:     b.dropped,
+	}
+	for s := range b.subs {
+		st.Subs = append(st.Subs, SubStats{
+			ID:        s.id,
+			Buffered:  len(s.ch),
+			Cap:       cap(s.ch),
+			Delivered: atomic.LoadUint64(&s.delivered),
+			Dropped:   atomic.LoadUint64(&s.dropped),
+		})
+	}
+	sort.Slice(st.Subs, func(i, j int) bool { return st.Subs[i].ID < st.Subs[j].ID })
+	return st
 }
 
 // Sub is one subscription: a bounded buffered view of the publication
 // stream.
 type Sub[T any] struct {
-	b       *Bus[T]
-	ch      chan T
-	dropped uint64
-	closed  bool
+	b         *Bus[T]
+	ch        chan T
+	id        uint64
+	delivered uint64
+	dropped   uint64
+	closed    bool
 }
 
 // C is the subscription's delivery channel. It is closed when either the

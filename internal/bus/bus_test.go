@@ -42,8 +42,22 @@ func TestSlowSubscriberDropsAreCounted(t *testing.T) {
 	if got := fast.Dropped(); got != 0 {
 		t.Fatalf("fast subscriber dropped %d, want 0", got)
 	}
-	if st := b.Stats(); st.Dropped != 8 {
-		t.Fatalf("bus-wide dropped = %d, want 8", st.Dropped)
+	if st := b.Stats(); st.Dropped != 8 || st.Delivered != 12 {
+		t.Fatalf("bus-wide counters %+v", st)
+	}
+	// The per-subscriber snapshot attributes the loss: the slow
+	// subscriber shows nonzero drops and a full buffer, the fast one
+	// shows zero drops with everything delivered.
+	st := b.Stats()
+	if len(st.Subs) != 2 {
+		t.Fatalf("subscriber snapshot has %d entries, want 2", len(st.Subs))
+	}
+	slowSt, fastSt := st.Subs[0], st.Subs[1]
+	if slowSt.Dropped != 8 || slowSt.Delivered != 2 || slowSt.Buffered != 2 || slowSt.Cap != 2 {
+		t.Fatalf("slow subscriber stats %+v", slowSt)
+	}
+	if fastSt.Dropped != 0 || fastSt.Delivered != 10 || fastSt.Buffered != 10 {
+		t.Fatalf("fast subscriber stats %+v", fastSt)
 	}
 	// The slow subscriber keeps the oldest events that fit, not a
 	// corrupted stream: it sees 0, 1 and then the close.

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build identity, read once from the binary's embedded build info: the
+// VCS revision stamped by `go build`, whether the tree was dirty, and
+// the Go toolchain version. Exposed two ways — a constant-1 info metric
+// (the Prometheus idiom for joining build metadata onto any series) and
+// a -version string.
+
+// BuildInfo is the binary's build identity.
+type BuildInfo struct {
+	GoVersion string
+	Revision  string // VCS revision, "unknown" outside a stamped build
+	Modified  bool   // tree was dirty at build time
+}
+
+// ReadBuildInfo extracts the build identity from the running binary.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{GoVersion: "unknown", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// String renders the identity for a -version flag.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("revision %s, %s", rev, b.GoVersion)
+}
+
+// RegisterBuildInfo exposes the identity as a constant-1 gauge named
+// <ns>_build_info with go_version/revision/modified labels.
+func RegisterBuildInfo(r *Registry, ns string) BuildInfo {
+	b := ReadBuildInfo()
+	mod := "false"
+	if b.Modified {
+		mod = "true"
+	}
+	r.GaugeVec(ns+"_build_info",
+		"Constant 1, labeled with the binary's build identity.",
+		"go_version", "revision", "modified").
+		With(b.GoVersion, b.Revision, mod).Set(1)
+	return b
+}

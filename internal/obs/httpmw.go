@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// This file instruments an HTTP surface: every request gets an ID
+// (accepted from X-Request-Id or generated), per-route metrics
+// (count by status class, wall-clock latency histogram, in-flight
+// gauge, response bytes), and one structured log line. The route label
+// is the mux pattern, not the raw path, so metric cardinality is
+// bounded by the API surface rather than by client-chosen IDs.
+
+// HTTPMetrics holds the per-route HTTP metric families.
+type HTTPMetrics struct {
+	Requests  *CounterVec   // route, code (status class: "2xx".."5xx")
+	Duration  *HistogramVec // route
+	InFlight  *GaugeVec     // route
+	RespBytes *CounterVec   // route
+}
+
+// NewHTTPMetrics registers the HTTP families under the given namespace
+// prefix (e.g. "lrcsimd").
+func NewHTTPMetrics(r *Registry, ns string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec(ns+"_http_requests_total",
+			"HTTP requests served, by route pattern and status class.",
+			"route", "code"),
+		Duration: r.HistogramVec(ns+"_http_request_duration_seconds",
+			"Wall-clock request latency by route pattern.",
+			DefDurationBuckets, "route"),
+		InFlight: r.GaugeVec(ns+"_http_in_flight_requests",
+			"Requests currently being served, by route pattern.",
+			"route"),
+		RespBytes: r.CounterVec(ns+"_http_response_bytes_total",
+			"Response body bytes written, by route pattern.",
+			"route"),
+	}
+}
+
+// Middleware wraps next with request-ID handling, metrics, and request
+// logging. route maps a request to its bounded label (typically the
+// mux pattern via ServeMux.Handler); log may be nil.
+func (m *HTTPMetrics) Middleware(next http.Handler, route func(*http.Request) string, log *slog.Logger) http.Handler {
+	if log == nil {
+		log = NopLogger()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := SanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+
+		rt := route(r)
+		inflight := m.InFlight.With(rt)
+		inflight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		defer func() {
+			dur := time.Since(start)
+			inflight.Dec()
+			m.Requests.With(rt, statusClass(rec.status)).Inc()
+			m.Duration.With(rt).Observe(dur.Seconds())
+			m.RespBytes.With(rt).Add(float64(rec.bytes))
+			log.Info("http",
+				"method", r.Method,
+				"route", rt,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur_ms", dur.Milliseconds(),
+				"bytes", rec.bytes,
+				"request_id", id,
+			)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusRecorder captures the status code and body size. It implements
+// http.Flusher unconditionally — the SSE handlers type-assert for it —
+// delegating when the underlying writer supports it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

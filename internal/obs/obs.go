@@ -1,0 +1,76 @@
+// Package obs is the service stack's operational observability plane:
+// a dependency-free Prometheus-text-format metrics registry, HTTP
+// middleware that stamps every request with an ID and folds it into
+// per-route metrics and structured logs, and build-info exposition.
+//
+// obs is deliberately separate from internal/telemetry. Telemetry lives
+// on the simulated clock and feeds result digests — it must stay
+// passive and deterministic. obs lives on the wall clock and describes
+// the daemon serving the results (request rates, pool occupancy, store
+// shape); nothing here ever touches a simulation, so the byte-identical
+// guarantees of the result plane are structurally out of its reach.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+// RequestIDHeader is the header a request ID travels in, both directions:
+// accepted from the client when present, echoed on every response.
+const RequestIDHeader = "X-Request-Id"
+
+type ridKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is
+// attached (a submission that did not arrive over HTTP).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// requests flowing and is obvious in logs.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID reduces a client-supplied ID to a safe form: the
+// characters [A-Za-z0-9._-] capped at 64, or "" when nothing survives
+// (the caller then generates one). Keeps header-splitting and
+// log-injection bytes out of responses and log lines.
+func SanitizeRequestID(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && len(out) < 64; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// services constructed without one (tests, embedded use).
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

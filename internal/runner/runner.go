@@ -58,6 +58,7 @@ type Runner struct {
 	inflight map[string]chan struct{}
 	meta     Meta
 	eventSeq uint64
+	pending  int // Do calls in progress (queued, waiting, or running)
 }
 
 // Meta is the runner's execution record, attached to reports. Simulated,
@@ -109,6 +110,29 @@ func New(workers int, store ResultStore) *Runner {
 // Workers reports the pool size.
 func (r *Runner) Workers() int { return r.workers }
 
+// PoolStats is a point-in-time view of the pool's wall-clock occupancy
+// — observability provenance, never part of a result. Queued counts
+// submissions that have entered Do but hold no worker slot yet
+// (store lookups, dedup waiters, and jobs waiting for a slot).
+type PoolStats struct {
+	Workers int `json:"workers"`
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+}
+
+// Pool snapshots the pool occupancy.
+func (r *Runner) Pool() PoolStats {
+	r.mu.Lock()
+	pending := r.pending
+	r.mu.Unlock()
+	running := len(r.sem)
+	queued := pending - running
+	if queued < 0 {
+		queued = 0
+	}
+	return PoolStats{Workers: r.workers, Running: running, Queued: queued}
+}
+
 // Do executes one job, blocking until its result is available. Results
 // are resolved in order: in-process memo, then in-flight duplicate, then
 // the store, then a worker slot. Safe for concurrent use.
@@ -120,6 +144,8 @@ func (r *Runner) Workers() int { return r.workers }
 // submission of the same fingerprint re-executes the job.
 func (r *Runner) Do(ctx context.Context, job Job) *Result {
 	fp := job.Fingerprint()
+	r.account(func(*Meta) { r.pending++ })
+	defer r.account(func(*Meta) { r.pending-- })
 	r.emit(EventQueued, fp, job, 0, "")
 	attached := false
 	for {

@@ -68,6 +68,9 @@ type Store struct {
 	totalBytes  int64
 	dropped     int
 	compactions int
+	appends     uint64
+	lookups     uint64
+	misses      uint64
 	writeErr    error
 	closed      bool
 }
@@ -225,12 +228,15 @@ func (s *Store) index(fp string, l loc) {
 func (s *Store) Get(fp string) (*runner.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lookups++
 	line, ok := s.readLocked(fp)
 	if !ok {
+		s.misses++
 		return nil, false
 	}
 	var r runner.Result
 	if err := json.Unmarshal(line, &r); err != nil {
+		s.misses++
 		return nil, false
 	}
 	return &r, true
@@ -285,6 +291,7 @@ func (s *Store) Put(r *runner.Result) error {
 	}
 	s.activeSize += int64(len(line)) + 1
 	s.totalBytes += int64(len(line)) + 1
+	s.appends++
 	s.index(r.Fingerprint, loc{seg: s.activeID, off: off, n: len(line)})
 	return nil
 }
@@ -401,6 +408,25 @@ type Stats struct {
 	DroppedLines int `json:"dropped_lines"`
 	// Compactions counts Compact calls on this handle.
 	Compactions int `json:"compactions"`
+	// Appends counts successful Put calls on this handle; Lookups and
+	// Misses count Get calls and the subset that found nothing. All
+	// three are per-handle (in-memory), like Compactions.
+	Appends uint64 `json:"appends"`
+	Lookups uint64 `json:"lookups"`
+	Misses  uint64 `json:"misses"`
+}
+
+// DeadBytes is the compaction-trigger input: bytes a compaction pass
+// would reclaim (superseded duplicates, skipped garbage).
+func (st Stats) DeadBytes() int64 { return st.TotalBytes - st.LiveBytes }
+
+// DeadRatio is DeadBytes as a fraction of everything on disk (0 when
+// the store is empty) — the signal an age/size GC policy keys on.
+func (st Stats) DeadRatio() float64 {
+	if st.TotalBytes == 0 {
+		return 0
+	}
+	return float64(st.DeadBytes()) / float64(st.TotalBytes)
 }
 
 // Stats snapshots the store.
@@ -419,6 +445,9 @@ func (s *Store) statsLocked() Stats {
 		TotalBytes:   s.totalBytes,
 		DroppedLines: s.dropped,
 		Compactions:  s.compactions,
+		Appends:      s.appends,
+		Lookups:      s.lookups,
+		Misses:       s.misses,
 	}
 }
 

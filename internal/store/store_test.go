@@ -193,12 +193,26 @@ func TestGarbageRecoveryAndCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Pre-compaction snapshot: the dead-byte accounting a background
+	// compaction trigger would key on, plus the per-handle traffic
+	// counters (8 hits so far on this handle, 1 append, no misses).
+	pre := s2.Stats()
+	if pre.DeadBytes() <= 0 || pre.DeadRatio() <= 0 || pre.DeadRatio() >= 1 {
+		t.Fatalf("damaged store shows no dead bytes: %+v", pre)
+	}
+	if pre.Appends != 1 || pre.Lookups != 8 || pre.Misses != 0 {
+		t.Fatalf("pre-compaction traffic counters: %+v", pre)
+	}
+
 	st, err := s2.Compact()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Segments != 1 || st.Entries != 9 || st.LiveBytes != st.TotalBytes || st.Compactions != 1 {
 		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	if st.DeadBytes() != 0 || st.DeadRatio() != 0 {
+		t.Fatalf("compaction left dead bytes: %+v", st)
 	}
 	for fp, w := range want {
 		got, ok := s2.Get(fp)

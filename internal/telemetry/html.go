@@ -92,6 +92,7 @@ const reportCSS = `
 type HTMLDoc struct {
 	title    string
 	subtitle string
+	refresh  int
 	body     strings.Builder
 }
 
@@ -111,11 +112,18 @@ func (d *HTMLDoc) Section(heading, inner string) {
 // Raw appends pre-rendered HTML outside a card.
 func (d *HTMLDoc) Raw(inner string) { d.body.WriteString(inner) }
 
+// SetRefresh makes the page reload itself every n seconds (n <= 0
+// disables) — used by live dashboards; static reports leave it off.
+func (d *HTMLDoc) SetRefresh(n int) { d.refresh = n }
+
 // Render writes the complete page.
 func (d *HTMLDoc) Render(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
 	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	if d.refresh > 0 {
+		fmt.Fprintf(&b, "<meta http-equiv=\"refresh\" content=\"%d\">\n", d.refresh)
+	}
 	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(d.title))
 	b.WriteString("<style>" + reportCSS + "</style>\n</head>\n<body class=\"viz-root\">\n")
 	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(d.title))
