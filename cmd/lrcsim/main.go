@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"lazyrc"
 	"lazyrc/internal/apps"
@@ -78,6 +79,9 @@ func main() {
 		spansMax   = flag.Int("spans-max", 0, "cap on retained spans (0: default limit)")
 		critPath   = flag.Int("critical-path", 0, "print the critical-path stall attribution table and the N longest stall episodes (implies span collection)")
 		validateS  = flag.String("validate-spans", "", "validate a Perfetto trace JSON export against the trace-event schema and exit")
+		perfFlag   = flag.Bool("perf", false, "profile the simulator's wall-clock time by phase and print the breakdown after the report (passive: simulated results are unchanged)")
+		progress   = flag.Int("progress", 0, "print a one-line progress heartbeat to stderr every N wall-clock seconds (0: disabled)")
+		progTotal  = flag.Uint64("progress-total", 0, "expected total simulated cycles, for the -progress ETA estimate (0: no ETA)")
 	)
 	flag.Parse()
 
@@ -197,6 +201,13 @@ func main() {
 	if *spans || *critPath > 0 {
 		m.EnableSpans(true, *spansMax)
 	}
+	if *perfFlag {
+		// After EnableSpans, so span bookkeeping lands in the causal phase.
+		m.EnablePerf()
+	}
+	if *progress > 0 {
+		enableProgress(m, *progress, *progTotal)
+	}
 	app.Setup(m)
 	m.Run(app.Worker)
 	if m.Eng.Stopped() {
@@ -288,6 +299,12 @@ func main() {
 
 	printReport(os.Stdout, m, app, sc, *proto, *procs, *contention, *traffic)
 
+	if *perfFlag {
+		fmt.Println()
+		fmt.Println("wall-clock phase profile (host time, not simulated cycles)")
+		fmt.Print(m.Perf.Snapshot().Table())
+	}
+
 	if *critPath > 0 {
 		a := causal.Analyze(m.Causal)
 		fmt.Println()
@@ -297,6 +314,38 @@ func main() {
 		fmt.Printf("top %d stall episodes\n", *critPath)
 		a.WriteTop(os.Stdout, *critPath)
 	}
+}
+
+// enableProgress schedules a self-rescheduling background engine event
+// that prints a one-line heartbeat to stderr whenever at least every
+// wall-clock seconds have passed since the last line: current simulated
+// cycle, mean simulation speed so far, and — when the caller supplied an
+// expected total via -progress-total — a naive ETA. Background events
+// never keep the simulation alive or perturb regular-event timing, so
+// the heartbeat is passive: results are bit-identical with and without
+// it.
+func enableProgress(m *lazyrc.Machine, every int, total uint64) {
+	const pollCycles = 1 << 16 // wall-clock check cadence in simulated cycles
+	interval := time.Duration(every) * time.Second
+	start := time.Now()
+	last := start
+	var tick func()
+	tick = func() {
+		if now := time.Now(); now.Sub(last) >= interval {
+			last = now
+			cyc := m.Eng.Now()
+			elapsed := now.Sub(start).Seconds()
+			rate := float64(cyc) / elapsed
+			line := fmt.Sprintf("progress: cycle %d, %.2f Mcycles/s", cyc, rate/1e6)
+			if total > cyc && rate > 0 {
+				eta := time.Duration(float64(total-cyc) / rate * float64(time.Second))
+				line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		m.Eng.Background(m.Eng.Now()+pollCycles, tick)
+	}
+	m.Eng.Background(pollCycles, tick)
 }
 
 // compareProtocols runs the application once per requested protocol —

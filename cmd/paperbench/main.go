@@ -64,6 +64,12 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		remote     = flag.String("remote", "", "submit the evaluation to a running lrcsimd daemon at this base URL (e.g. http://127.0.0.1:7077) instead of simulating locally; matrix targets only, -j and -cache are the daemon's concern")
 		protoFlag  = flag.String("protocols", "all", "comma-separated protocol subset for the tardis target and the chaos soak (\"all\" = every registered protocol)")
+		perfTrend  = flag.String("perf-trend", "PERF_trend.json", "committed cycles/sec trend file for the -perf-write / -perf-gate pass")
+		perfWrite  = flag.Bool("perf-write", false, "measure host throughput for every (app, protocol) cell serially and append the result as a new entry in -perf-trend")
+		perfGate   = flag.Bool("perf-gate", false, "measure host throughput and fail on cells slower than the latest -perf-trend entry beyond -perf-tol")
+		perfTol    = flag.Float64("perf-tol", 50, "perf gate tolerance on cycles/sec regressions, in percent of the baseline; wall-clock timings wobble with host load, so the default is deliberately generous — tighten it on a quiet, pinned machine")
+		perfReport = flag.String("perf-report", "", "write a self-contained HTML performance report (phase breakdown + trend) to this file")
+		perfReps   = flag.Int("perf-reps", 3, "executions per cell in the perf pass; the fastest is recorded (best-of-N damps host noise)")
 	)
 	flag.Parse()
 
@@ -79,8 +85,19 @@ func main() {
 		log.Fatal(err)
 	}
 	targets := flag.Args()
+	perfO := perfOpts{
+		trendPath: *perfTrend, write: *perfWrite, gate: *perfGate,
+		tolPct: *perfTol, report: *perfReport, reps: *perfReps,
+		protos: protoList, quiet: *quiet,
+	}
 	if len(targets) == 0 {
-		targets = []string{"all"}
+		if perfO.active() {
+			// A bare perf invocation measures throughput only; ask for
+			// explicit targets (or "all") to also render the figures.
+			targets = nil
+		} else {
+			targets = []string{"all"}
+		}
 	}
 	if *remote != "" {
 		code := runRemote(remoteOpts{
@@ -123,6 +140,13 @@ func main() {
 
 	e := exp.NewEvaluatorWith(scale, *procs, rn)
 	e.Seed = *seed
+
+	// The perf pass runs first, before any worker-pool fan-out, so its
+	// serial timings are not polluted by concurrent simulations.
+	perfCode := 0
+	if perfO.active() {
+		perfCode = runPerfPass(e, scale, *procs, perfO)
+	}
 
 	start := time.Now()
 	emit := func(name, body string) {
@@ -215,7 +239,7 @@ func main() {
 	}
 
 	exitCode := 0
-	if chaosFailed {
+	if chaosFailed || perfCode != 0 {
 		exitCode = 1
 	}
 	if err := e.VerifyAll(); err != nil {

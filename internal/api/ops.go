@@ -135,9 +135,16 @@ func opsPoolTable(s *Service, snap map[string]obs.Family) string {
 	for _, sm := range snap["lrcsimd_jobs_total"].Samples {
 		kinds[labelValue(sm, "kind")] = sm.Value
 	}
+	// Live simulation speed: the per-(app, proto) heartbeat gauges summed
+	// over currently running jobs (terminal jobs zero their gauge).
+	var speed float64
+	for _, sm := range snap["lrcsimd_sim_cycles_per_second"].Samples {
+		speed += sm.Value
+	}
 	return telemetry.MetaTable([][2]string{
 		{"running / workers", fmt.Sprintf("%d / %d", pool.Running, pool.Workers)},
 		{"queued", fmt.Sprintf("%d", pool.Queued)},
+		{"live sim speed", fmt.Sprintf("%.2f Mcycles/s", speed/1e6)},
 		{"executed (fresh simulations)", fmt.Sprintf("%.0f", kinds["executed"])},
 		{"cache hits (persistent store)", fmt.Sprintf("%.0f", kinds["cache_hit"])},
 		{"deduped (in-process)", fmt.Sprintf("%.0f", kinds["deduped"])},
@@ -189,7 +196,7 @@ func opsSweepsTable(s *Service) string {
 	}
 	const maxRows = 10
 	var b strings.Builder
-	b.WriteString("<table><tr><th>sweep</th><th>state</th><th>cells</th><th>completed</th><th>executed</th><th>cached</th><th>deduped</th><th>failed</th></tr>\n")
+	b.WriteString("<table><tr><th>sweep</th><th>state</th><th>cells</th><th>completed</th><th>executed</th><th>cached</th><th>deduped</th><th>failed</th><th>wall</th><th>speed</th></tr>\n")
 	shown := 0
 	for i := len(sweeps) - 1; i >= 0 && shown < maxRows; i-- {
 		sw := sweeps[i]
@@ -197,9 +204,17 @@ func opsSweepsTable(s *Service) string {
 		if len(id) > 16 {
 			id = id[:16]
 		}
-		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+		wall, speed := "—", "—"
+		if sw.Terminal() {
+			wall = (time.Duration(sw.WallMS) * time.Millisecond).String()
+			if sw.CyclesPerSec > 0 {
+				speed = fmt.Sprintf("%.2f Mcyc/s", sw.CyclesPerSec/1e6)
+			}
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
 			html.EscapeString(id), html.EscapeString(sw.State),
-			sw.Jobs, sw.Completed, sw.Executed, sw.FromCache, sw.Deduped, sw.Failed)
+			sw.Jobs, sw.Completed, sw.Executed, sw.FromCache, sw.Deduped, sw.Failed,
+			wall, speed)
 		shown++
 	}
 	b.WriteString("</table>\n")

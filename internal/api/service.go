@@ -46,6 +46,7 @@ type Service struct {
 
 	jobEvents  *obs.CounterVec // runner lifecycle events by kind
 	heartbeats *obs.Counter
+	simSpeed   *obs.GaugeVec // live cycles/sec of running jobs by (app, proto)
 
 	runCtx context.Context // parent of every submission's context
 	cancel context.CancelFunc
@@ -57,6 +58,18 @@ type Service struct {
 	order    []string // sweep IDs in first-submission order
 	jobs     map[string]*jobState
 	jobOrder []string // job fingerprints in first-submission order
+	// rates tracks per-fingerprint heartbeat progress of running jobs,
+	// feeding the lrcsimd_sim_cycles_per_second gauge. Wall-clock
+	// observability only.
+	rates map[string]*jobRate
+}
+
+// jobRate is one running job's last observed heartbeat, for the live
+// throughput gauge: cycles/sec between consecutive heartbeats.
+type jobRate struct {
+	app, proto string
+	lastCycle  uint64
+	lastAt     time.Time
 }
 
 // sweepState is one sweep's record. status is mutated under Service.mu;
@@ -76,6 +89,9 @@ type sweepState struct {
 	doneFPs map[string]bool
 	cancel  context.CancelFunc
 	done    chan struct{}
+	// startedAt is stamped when the sweep leaves queued, for the
+	// terminal status's wall-clock duration.
+	startedAt time.Time
 
 	reportJSON []byte // stable report, indented JSON
 	reportHTML []byte // self-contained HTML rendering
@@ -117,6 +133,7 @@ func NewService(workers int, st *store.Store, logger *slog.Logger) *Service {
 		cancel: cancel,
 		sweeps: make(map[string]*sweepState),
 		jobs:   make(map[string]*jobState),
+		rates:  make(map[string]*jobRate),
 	}
 	s.registerMetrics()
 	s.rn.Emit = s.onEvent
@@ -157,6 +174,11 @@ func (s *Service) registerMetrics() {
 	}
 	s.heartbeats = s.reg.Counter("lrcsimd_job_heartbeats_total",
 		"Progress heartbeats received from running simulations.")
+	s.simSpeed = s.reg.GaugeVec("lrcsimd_sim_cycles_per_second",
+		"Live simulation speed of running jobs (simulated cycles per "+
+			"wall-clock second, measured between consecutive heartbeats; "+
+			"0 when no job with the label pair is running).",
+		"app", "proto")
 
 	s.reg.GaugeFunc("lrcsimd_pool_workers", "Simulation worker pool size.",
 		func() float64 { return float64(s.rn.Pool().Workers) })
@@ -260,6 +282,7 @@ func (s *Service) onEvent(ev runner.Event) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.trackRate(ev)
 	for _, id := range s.order {
 		sw := s.sweeps[id]
 		if sw.status.Terminal() || !sw.fps[ev.FP] || sw.doneFPs[ev.FP] {
@@ -283,6 +306,36 @@ func (s *Service) onEvent(ev runner.Event) {
 			sw.doneFPs[ev.FP] = true
 		}
 		sw.status.Completed = len(sw.doneFPs)
+		if ev.Kind == runner.EventDone {
+			sw.status.SimCycles += ev.Cycle
+		}
+	}
+}
+
+// trackRate folds one lifecycle event into the live throughput gauge.
+// Caller holds s.mu. Running starts tracking the fingerprint, each
+// heartbeat sets the (app, proto) gauge to the speed since the previous
+// one, and any terminal event zeroes the gauge and forgets the entry.
+func (s *Service) trackRate(ev runner.Event) {
+	switch ev.Kind {
+	case runner.EventRunning:
+		s.rates[ev.FP] = &jobRate{app: ev.App, proto: ev.Proto, lastAt: time.Now()}
+	case runner.EventHeartbeat:
+		jr, ok := s.rates[ev.FP]
+		if !ok {
+			return
+		}
+		now := time.Now()
+		if dt := now.Sub(jr.lastAt).Seconds(); dt > 0 && ev.Cycle > jr.lastCycle {
+			s.simSpeed.With(ev.App, ev.Proto).Set(float64(ev.Cycle-jr.lastCycle) / dt)
+		}
+		jr.lastCycle = ev.Cycle
+		jr.lastAt = now
+	case runner.EventDone, runner.EventFailed, runner.EventCanceled:
+		if _, ok := s.rates[ev.FP]; ok {
+			delete(s.rates, ev.FP)
+			s.simSpeed.With(ev.App, ev.Proto).Set(0)
+		}
 	}
 }
 
@@ -372,6 +425,7 @@ func (s *Service) runSweep(ctx context.Context, sw *sweepState, spec exp.Spec) {
 
 	s.mu.Lock()
 	sw.status.State = StateRunning
+	sw.startedAt = time.Now()
 	s.mu.Unlock()
 
 	fail := func(err error) {
@@ -419,6 +473,11 @@ func (s *Service) runSweep(ctx context.Context, sw *sweepState, spec exp.Spec) {
 	s.mu.Lock()
 	sw.reportJSON = jsonBuf.Bytes()
 	sw.reportHTML = htmlBuf.Bytes()
+	wall := time.Since(sw.startedAt)
+	sw.status.WallMS = wall.Milliseconds()
+	if secs := wall.Seconds(); secs > 0 {
+		sw.status.CyclesPerSec = float64(sw.status.SimCycles) / secs
+	}
 	switch {
 	case canceled:
 		sw.status.State = StateCanceled

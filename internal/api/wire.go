@@ -56,6 +56,14 @@ type SweepStatus struct {
 	Failed    int `json:"failed"`
 	// Error carries the failure summary of a failed sweep.
 	Error string `json:"error,omitempty"`
+	// WallMS, SimCycles, and CyclesPerSec describe how fast the sweep
+	// ran, stamped when it reaches a terminal state: wall-clock duration,
+	// total simulated cycles across fresh executions (cache hits and
+	// dedups contribute none), and their ratio. Host-dependent
+	// provenance — never part of any result or fingerprint.
+	WallMS       int64   `json:"wall_ms,omitempty"`
+	SimCycles    uint64  `json:"sim_cycles,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // Terminal reports whether the sweep has finished (in any way).

@@ -18,6 +18,8 @@ package causal
 import (
 	"fmt"
 	"sort"
+
+	"lazyrc/internal/perf"
 )
 
 // Kind classifies one span.
@@ -178,6 +180,12 @@ type Tracer struct {
 	// rootIDs maps an open transaction's TID to its root span id so
 	// EndTxn/EndSync can close by TID. O(open transactions).
 	rootIDs map[uint64]uint64
+
+	// prof, when non-nil, charges span bookkeeping wall time to the
+	// causal perf phase. Capture/Restore are NOT bracketed: they run on
+	// every event and a timestamp read there would cost more than the
+	// work measured.
+	prof *perf.Profiler
 }
 
 // DefaultLimit caps retained spans; beyond it new spans are counted as
@@ -215,6 +223,15 @@ func NewDigest() *Tracer {
 // Enabled reports whether the tracer is non-nil (for callers holding an
 // interface or wanting a readable guard).
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetProfiler attaches (or, with nil, detaches) a wall-clock phase
+// profiler charging span bookkeeping to the causal phase.
+func (t *Tracer) SetProfiler(p *perf.Profiler) {
+	if t == nil {
+		return
+	}
+	t.prof = p
+}
 
 // ---- Causal context (sim.TaskTracer) --------------------------------------
 
@@ -255,6 +272,8 @@ func (t *Tracer) Current() uint64 {
 // retained for export, but still closes into the digest so truncation
 // never changes the determinism fingerprint.
 func (t *Tracer) beginOpen(s Span) uint64 {
+	prev := t.prof.Enter(perf.PhaseCausal)
+	defer t.prof.Exit(prev)
 	t.nextSID++
 	s.ID = t.nextSID
 	if t.retain && len(t.spans) < t.limit {
@@ -275,6 +294,8 @@ func (t *Tracer) endOpen(id, end uint64) *Span {
 	if id == 0 {
 		return nil
 	}
+	prev := t.prof.Enter(perf.PhaseCausal)
+	defer t.prof.Exit(prev)
 	if idx, ok := t.open[id]; ok {
 		delete(t.open, id)
 		sp := &t.spans[idx]
@@ -296,6 +317,8 @@ func (t *Tracer) endOpen(id, end uint64) *Span {
 // record time, e.g. a network flight whose delivery the mesh resolved
 // eagerly).
 func (t *Tracer) record(s Span) {
+	prev := t.prof.Enter(perf.PhaseCausal)
+	defer t.prof.Exit(prev)
 	t.nextSID++
 	s.ID = t.nextSID
 	t.fold(&s)

@@ -14,6 +14,8 @@ package directory
 import (
 	"fmt"
 	"sort"
+
+	"lazyrc/internal/perf"
 )
 
 // State is the global state of a coherence block.
@@ -77,6 +79,10 @@ type Directory struct {
 
 	// check enables invariant verification after mutations.
 	check bool
+
+	// prof, when non-nil, charges entry lookups/creation to the perf
+	// directory phase. Passive.
+	prof *perf.Profiler
 }
 
 // New returns an empty directory for a machine with nprocs processors.
@@ -84,9 +90,15 @@ func New(nprocs int, check bool) *Directory {
 	return &Directory{nprocs: nprocs, entries: make(map[uint64]*Entry), check: check}
 }
 
+// SetProfiler attaches (or, with nil, detaches) a wall-clock phase
+// profiler charging directory work to the directory phase.
+func (d *Directory) SetProfiler(p *perf.Profiler) { d.prof = p }
+
 // Entry returns the record for block, creating an Uncached entry on first
 // touch.
 func (d *Directory) Entry(block uint64) *Entry {
+	prev := d.prof.Enter(perf.PhaseDirectory)
+	defer d.prof.Exit(prev)
 	e := d.entries[block]
 	if e == nil {
 		e = &Entry{

@@ -1,0 +1,69 @@
+package machine_test
+
+import (
+	"testing"
+
+	"lazyrc/internal/apps"
+	"lazyrc/internal/config"
+	"lazyrc/internal/machine"
+)
+
+// protocols is every registered coherence protocol, in registry order.
+var protocols = []string{"sc", "erc", "lrc", "lrc-ext", "tardis", "tardis2"}
+
+// BenchmarkProtocolDispatch runs one full tiny gauss simulation per
+// iteration, once per protocol: the end-to-end cost of the per-access
+// protocol dispatch path (cache lookup, miss handling, message
+// round-trips) under each coherence implementation. Compare protocols
+// against each other and against prior runs with -benchmem to see where
+// host time and allocations go.
+//
+//	go test ./internal/machine -bench ProtocolDispatch -benchtime 3x -benchmem
+func BenchmarkProtocolDispatch(b *testing.B) {
+	for _, proto := range protocols {
+		b.Run(proto, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(config.Default(8), proto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				app := apps.NewGauss(apps.Tiny)
+				app.Setup(m)
+				m.Run(app.Worker)
+				if err := app.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimPerf pairs a profiled and an unprofiled full run, the
+// overhead contract for the wall-clock phase profiler: disabled must be
+// free (nil-receiver no-ops on the hot path), enabled it stays within a
+// few percent (two clock reads per phase switch).
+//
+//	go test ./internal/machine -bench SimPerf -benchtime 5x
+func BenchmarkSimPerf(b *testing.B) {
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(config.Default(8), "lrc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "enabled" {
+					m.EnablePerf()
+				}
+				app := apps.NewGauss(apps.Tiny)
+				app.Setup(m)
+				m.Run(app.Worker)
+				if err := app.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

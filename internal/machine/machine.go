@@ -24,6 +24,7 @@ import (
 	"lazyrc/internal/directory"
 	"lazyrc/internal/faults"
 	"lazyrc/internal/mesh"
+	"lazyrc/internal/perf"
 	"lazyrc/internal/protocol"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/stats"
@@ -48,6 +49,9 @@ type Machine struct {
 	// Causal is the span tracer when causal tracing is enabled (see
 	// EnableSpans in spans.go), nil otherwise.
 	Causal *causal.Tracer
+	// Perf is the wall-clock phase profiler when perf accounting is
+	// enabled (see EnablePerf in perf.go), nil otherwise.
+	Perf *perf.Profiler
 
 	backing []byte
 	brk     Addr
@@ -328,10 +332,12 @@ func (m *Machine) Run(worker func(p *Proc)) {
 			panic(fmt.Sprintf("%v\n%s", r, m.DumpState()))
 		}
 	}()
+	m.Perf.Begin()
 	m.Eng.Run()
 	// Closing telemetry sample at the final simulated cycle (a no-op when
 	// the run ended exactly on a tick, or when metrics are disabled).
 	m.Tel.Sample(m.Eng.Now())
+	m.Perf.End(m.Eng.Now(), m.Eng.Events())
 }
 
 // ContentionReport summarizes hardware-resource contention after a run:

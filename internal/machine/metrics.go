@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"lazyrc/internal/perf"
 	"lazyrc/internal/protocol"
 	"lazyrc/internal/telemetry"
 )
@@ -148,10 +149,14 @@ func (m *Machine) EnableMetrics(interval uint64) *telemetry.Registry {
 
 	// Self-rescheduling background tick: background events never keep the
 	// simulation alive, so the tick dies with the last regular event and
-	// Run takes the closing sample.
+	// Run takes the closing sample. Sampling wall time is charged to the
+	// telemetry perf phase (m.Perf reads the profiler set by a later
+	// EnablePerf; nil stays a no-op).
 	var tick func()
 	tick = func() {
+		prev := m.Perf.Enter(perf.PhaseTelemetry)
 		reg.Sample(m.Eng.Now())
+		m.Perf.Exit(prev)
 		m.Eng.Background(m.Eng.Now()+interval, tick)
 	}
 	m.Eng.Background(interval, tick)

@@ -1,0 +1,54 @@
+package mesh_test
+
+import (
+	"testing"
+
+	"lazyrc/internal/config"
+	"lazyrc/internal/mesh"
+	"lazyrc/internal/sim"
+)
+
+// BenchmarkMeshSendDeliver measures one message's full path — Send,
+// dimension-ordered routing with port occupancy, and handler delivery —
+// on a 4×4 mesh with no-op handlers. Each iteration drains the engine,
+// so the figure is the per-message cost including the scheduled events.
+//
+//	go test ./internal/mesh -bench Mesh -benchmem
+func BenchmarkMeshSendDeliver(b *testing.B) {
+	const nodes = 16
+	eng := sim.NewEngine()
+	net := mesh.New(eng, config.Default(nodes))
+	for id := 0; id < nodes; id++ {
+		net.Handle(id, func(mesh.Msg) {})
+	}
+	if err := net.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(mesh.Msg{Src: i % nodes, Dst: (i*5 + 1) % nodes, Kind: 0, Size: 16})
+		eng.Run()
+	}
+}
+
+// BenchmarkMeshSendLocal isolates the same-node fast path (no wire, no
+// routing — just the local delivery event).
+func BenchmarkMeshSendLocal(b *testing.B) {
+	const nodes = 16
+	eng := sim.NewEngine()
+	net := mesh.New(eng, config.Default(nodes))
+	for id := 0; id < nodes; id++ {
+		net.Handle(id, func(mesh.Msg) {})
+	}
+	if err := net.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % nodes
+		net.Send(mesh.Msg{Src: id, Dst: id, Kind: 0, Size: 16})
+		eng.Run()
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"lazyrc/internal/causal"
 	"lazyrc/internal/config"
 	"lazyrc/internal/faults"
+	"lazyrc/internal/perf"
 	"lazyrc/internal/sim"
 )
 
@@ -83,6 +84,10 @@ type Network struct {
 	// wire flight. Passive: it reads timestamps the timing model already
 	// computed.
 	causal *causal.Tracer
+
+	// prof, when non-nil, charges routing/transport wall time to the
+	// mesh phase. Passive: never touches simulated state.
+	prof *perf.Profiler
 }
 
 // Msg is one network message. Protocol packages define the meaning of
@@ -232,6 +237,11 @@ func (n *Network) SetExplorer(ch sim.Chooser, menu []uint64) error {
 // tracer's current context and every wire flight records a net span.
 func (n *Network) SetCausal(t *causal.Tracer) { n.causal = t }
 
+// SetProfiler attaches (or, with nil, detaches) a wall-clock phase
+// profiler: Send/dispatch/transmit wall time is charged to the mesh
+// phase (delivery handlers re-attribute themselves).
+func (n *Network) SetProfiler(p *perf.Profiler) { n.prof = p }
+
 // Hops returns the XY-routing distance between two nodes.
 func (n *Network) Hops(a, b int) uint64 {
 	ax, ay := a%n.w, a/n.w
@@ -269,6 +279,8 @@ func (n *Network) Send(m Msg) {
 	if n.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler on node %d (Network.Finalize not called or node never registered)", m.Dst))
 	}
+	prev := n.prof.Enter(perf.PhaseMesh)
+	defer n.prof.Exit(prev)
 	if n.causal != nil {
 		m.CT = n.causal.Current()
 	}
@@ -327,6 +339,8 @@ func (n *Network) Send(m Msg) {
 // through the fault injector: it may be dropped outright — the timeout
 // timer recovers it — held back, jittered, or duplicated.
 func (n *Network) dispatch(m Msg) {
+	prev := n.prof.Enter(perf.PhaseMesh)
+	defer n.prof.Exit(prev)
 	f := n.inj.Decide(m.Kind, m.Src, m.Dst, m.Size, n.eng.Now())
 	if f.Drop {
 		n.injDropped++
@@ -376,6 +390,8 @@ func (n *Network) dispatch(m Msg) {
 // delivered message settles its transport ledger entry (the implicit,
 // zero-cost ack).
 func (n *Network) transmit(m Msg, extra uint64) {
+	prev := n.prof.Enter(perf.PhaseMesh)
+	defer n.prof.Exit(prev)
 	if m.Src != m.Dst && n.routeDown(m.Src, m.Dst, n.eng.Now()) {
 		n.tr.outageDrops++
 		return
@@ -388,7 +404,12 @@ func (n *Network) transmit(m Msg, extra uint64) {
 	}
 	if m.Src == m.Dst && !n.LocalLoopback {
 		n.flightAdd(m)
-		n.eng.At(n.eng.Now(), func() { n.flightRemove(m); n.handlers[m.Dst](m) })
+		n.eng.At(n.eng.Now(), func() {
+			p := n.prof.Enter(perf.PhaseMesh)
+			n.flightRemove(m)
+			n.handlers[m.Dst](m)
+			n.prof.Exit(p)
+		})
 		return
 	}
 	ser := n.TransferCycles(m.Size)
@@ -404,6 +425,8 @@ func (n *Network) transmit(m Msg, extra uint64) {
 		n.eng.Now(), deliver, sendStart-n.eng.Now(), deliver-rawArrival)
 	n.flightAdd(m)
 	n.eng.At(deliver, func() {
+		p := n.prof.Enter(perf.PhaseMesh)
+		defer n.prof.Exit(p)
 		n.flightRemove(m)
 		if n.tr != nil {
 			if n.tr.plan.NodeBrowned(m.Dst, n.eng.Now()) {

@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// trendVersion stamps the on-disk schema so a future layout change can
+// migrate or reject old files explicitly.
+const trendVersion = "lazyrc-perf-trend-v1"
+
+// Trend is the committed cycles/sec history: one file per (scale,
+// procs) pinning, entries appended per machine+commit snapshot. Unlike
+// BENCH_baseline.json it records speed, not correctness, so its gate is
+// tolerance-banded and regression-only (faster is always fine).
+type Trend struct {
+	Version string       `json:"version"`
+	Scale   string       `json:"scale"`
+	Procs   int          `json:"procs"`
+	Entries []TrendEntry `json:"entries"`
+}
+
+// TrendEntry is one recorded matrix timing: every (app, protocol) cell
+// measured back-to-back on one host.
+type TrendEntry struct {
+	When      string      `json:"when"` // RFC3339, stamped by the caller
+	GoVersion string      `json:"go_version"`
+	Host      string      `json:"host"` // GOOS/GOARCH, ncpu
+	Cells     []TrendCell `json:"cells"`
+}
+
+// TrendCell is one (app, protocol) timing measurement.
+type TrendCell struct {
+	App          string  `json:"app"`
+	Proto        string  `json:"proto"`
+	Cycles       uint64  `json:"cycles"`
+	Events       uint64  `json:"events"`
+	WallNS       int64   `json:"wall_ns"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+}
+
+// HostString describes the measuring host the way trend entries record it.
+func HostString() string {
+	return fmt.Sprintf("%s/%s ncpu=%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// NewEntry stamps a fresh entry for this host. when is an RFC3339
+// timestamp supplied by the caller (kept out of this package so tests
+// stay deterministic).
+func NewEntry(when string, cells []TrendCell) TrendEntry {
+	sorted := append([]TrendCell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].App != sorted[j].App {
+			return sorted[i].App < sorted[j].App
+		}
+		return sorted[i].Proto < sorted[j].Proto
+	})
+	return TrendEntry{
+		When:      when,
+		GoVersion: runtime.Version(),
+		Host:      HostString(),
+		Cells:     sorted,
+	}
+}
+
+// LoadTrend reads a trend file; a missing file yields an empty trend
+// shaped for (scale, procs) so the first -perf-write bootstraps it.
+func LoadTrend(path, scale string, procs int) (*Trend, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trend{Version: trendVersion, Scale: scale, Procs: procs}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trend
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("perf trend %s: %w", path, err)
+	}
+	if t.Version != trendVersion {
+		return nil, fmt.Errorf("perf trend %s: version %q, want %q", path, t.Version, trendVersion)
+	}
+	if t.Scale != scale || t.Procs != procs {
+		return nil, fmt.Errorf("perf trend %s: pinned to scale %s / %d procs, requested %s / %d (one trend file per matrix pinning)",
+			path, t.Scale, t.Procs, scale, procs)
+	}
+	return &t, nil
+}
+
+// SaveTrend writes the trend file, pretty-printed for reviewable diffs.
+func SaveTrend(path string, t *Trend) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Latest returns the newest entry, or false when the trend is empty.
+func (t *Trend) Latest() (TrendEntry, bool) {
+	if len(t.Entries) == 0 {
+		return TrendEntry{}, false
+	}
+	return t.Entries[len(t.Entries)-1], true
+}
+
+// GateTrend compares fresh cell timings against a baseline entry and
+// returns one violation string per regressed cell. Only slowdowns fail:
+// a fresh cycles/sec below baseline*(1 - tolPct/100) regresses, and a
+// baseline cell missing from the fresh set is a violation (the matrix
+// shrank). Fresh cells without a baseline counterpart pass free — new
+// apps/protocols join the trend on the next -perf-write.
+func GateTrend(base TrendEntry, fresh []TrendCell, tolPct float64) []string {
+	got := make(map[string]TrendCell, len(fresh))
+	for _, c := range fresh {
+		got[c.App+"/"+c.Proto] = c
+	}
+	var violations []string
+	for _, b := range base.Cells {
+		key := b.App + "/" + b.Proto
+		f, ok := got[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: no fresh measurement (baseline %.0f cycles/s)", key, b.CyclesPerSec))
+			continue
+		}
+		if b.CyclesPerSec <= 0 {
+			continue
+		}
+		floor := b.CyclesPerSec * (1 - tolPct/100)
+		if f.CyclesPerSec < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f cycles/s vs baseline %.0f (-%.1f%%, tolerance %.1f%%)",
+				key, f.CyclesPerSec, b.CyclesPerSec,
+				100*(1-f.CyclesPerSec/b.CyclesPerSec), tolPct))
+		}
+	}
+	return violations
+}

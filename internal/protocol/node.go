@@ -8,6 +8,7 @@ import (
 	"lazyrc/internal/config"
 	"lazyrc/internal/directory"
 	"lazyrc/internal/mesh"
+	"lazyrc/internal/perf"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/stats"
 )
@@ -39,6 +40,10 @@ type Env struct {
 	// Strictly passive — it observes cycle stamps the timing model
 	// already computed — and all hooks are nil-receiver no-ops.
 	Causal *causal.Tracer
+
+	// Prof, when non-nil, charges protocol-handler and memory/bus wall
+	// time to the perf phases. Passive like Causal; nil hooks are no-ops.
+	Prof *perf.Profiler
 
 	// pageHome is the FirstTouch page-placement table (-1 = untouched).
 	pageHome []int
@@ -203,6 +208,8 @@ func (n *Node) Deliver(m mesh.Msg) {
 }
 
 func (n *Node) deliver(m mesh.Msg) {
+	prev := n.Env.Prof.Enter(perf.PhaseProtocol)
+	defer n.Env.Prof.Exit(prev)
 	if MsgKind(m.Kind).IsSync() {
 		n.deliverSync(m)
 		return
@@ -316,7 +323,13 @@ func (n *Node) parkStall(tid uint64, class causal.StallClass, why string) uint64
 // ppAcquire charges the protocol processor and records a causal service
 // span of the given kind covering both the queueing and the occupancy.
 // It returns the completion time, like PP.Acquire's second result.
+// Wall-clock-wise it is the protocol's single choke point for home-side
+// directory service, so KindDir occupancy charges the directory phase.
 func (n *Node) ppAcquire(kind causal.Kind, block uint64, cost uint64) uint64 {
+	if kind == causal.KindDir {
+		prev := n.Env.Prof.Enter(perf.PhaseDirectory)
+		defer n.Env.Prof.Exit(prev)
+	}
 	req := n.now()
 	start, end := n.PP.Acquire(req, cost)
 	n.Env.Causal.Service(kind, n.ID, block, req, start, end)
@@ -376,6 +389,8 @@ func (n *Node) stallWBFull() {
 // a value tracker). Must be called from an event handler at data arrival
 // time.
 func (n *Node) fillLine(block uint64, st cache.LineState, vals []uint64, fn func()) {
+	prev := n.Env.Prof.Enter(perf.PhaseMemBus)
+	defer n.Env.Prof.Exit(prev)
 	victim, evicted := n.Cache.Fill(block, st)
 	if evicted {
 		n.evictVictim(victim)
@@ -442,6 +457,8 @@ func (n *Node) usesWriteBack() bool { return n.Proto.WriteBack() }
 // committed-write stream, and the coalescing buffer (possibly draining
 // its oldest entry on capacity pressure).
 func (n *Node) commitWT(block uint64, word int) {
+	prev := n.Env.Prof.Enter(perf.PhaseMemBus)
+	defer n.Env.Prof.Exit(prev)
 	n.Cache.MarkDirty(block, word)
 	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
 	if n.Env.Mem != nil {
@@ -457,6 +474,8 @@ func (n *Node) commitWT(block uint64, word int) {
 // committed-write stream. The data travels home only on eviction or
 // ownership transfer.
 func (n *Node) commitWB(block uint64, word int) {
+	prev := n.Env.Prof.Enter(perf.PhaseMemBus)
+	defer n.Env.Prof.Exit(prev)
 	n.Cache.MarkDirty(block, word)
 	n.Env.Class.CommitWrite(n.ID, block, word, n.wordsPerLine())
 	if n.Env.Mem != nil {

@@ -53,14 +53,20 @@ type Event struct {
 	// Cycle carries simulated progress: the current simulation cycle on a
 	// heartbeat, the final execution time on done.
 	Cycle uint64 `json:"cycle,omitempty"`
+	// WallNS carries the wall-clock duration of the resolution on the
+	// terminal events that have one: store lookup time on cached,
+	// execution time on done/failed. Provenance — it differs per host
+	// and run, so nothing deterministic may consume it.
+	WallNS int64 `json:"wall_ns,omitempty"`
 	// Err carries the failure text on failed and canceled events.
 	Err string `json:"err,omitempty"`
 }
 
 // emit publishes one lifecycle event through the Emit hook, assigning
 // the sequence number. Safe to call from concurrent workers; a nil hook
-// makes it free.
-func (r *Runner) emit(kind EventKind, fp string, j Job, cycle uint64, errText string) {
+// makes it free. wallNS stamps the event's resolution duration (0 for
+// events without one).
+func (r *Runner) emit(kind EventKind, fp string, j Job, cycle uint64, wallNS int64, errText string) {
 	emit := r.Emit
 	if emit == nil {
 		return
@@ -70,14 +76,15 @@ func (r *Runner) emit(kind EventKind, fp string, j Job, cycle uint64, errText st
 	seq := r.eventSeq
 	r.mu.Unlock()
 	emit(Event{
-		Seq:   seq,
-		Kind:  kind,
-		FP:    fp,
-		App:   j.App,
-		Scale: j.Scale.String(),
-		Proto: j.Proto,
-		Procs: j.Cfg.Procs,
-		Cycle: cycle,
-		Err:   errText,
+		Seq:    seq,
+		Kind:   kind,
+		FP:     fp,
+		App:    j.App,
+		Scale:  j.Scale.String(),
+		Proto:  j.Proto,
+		Procs:  j.Cfg.Procs,
+		Cycle:  cycle,
+		WallNS: wallNS,
+		Err:    errText,
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"lazyrc/internal/apps"
 	"lazyrc/internal/check"
 	"lazyrc/internal/machine"
+	"lazyrc/internal/perf"
 	"lazyrc/internal/sim"
 	"lazyrc/internal/stats"
 )
@@ -94,6 +95,12 @@ type Result struct {
 	// results are never memoized or stored; a later submission of the
 	// same job re-executes it. Provenance only, like Cached.
 	Canceled bool `json:"-"`
+
+	// Perf is the execution's wall-clock phase profile. Provenance only,
+	// like Cached: it varies by host and load, so it is never serialized
+	// into the store (cache-served results carry none), never part of
+	// the fingerprint, and never rendered into stable reports.
+	Perf *perf.Snapshot `json:"-"`
 }
 
 // Failed reports whether the job crashed (as opposed to completing,
@@ -241,6 +248,21 @@ var simulate = func(j Job, res *Result, hk hooks) error {
 			hk.install(m)
 		}
 	}
+	// Every runner execution is profiled: perf accounting is passive
+	// (pinned by TestPerfIsPassive) and costs two MemStats reads plus
+	// nanosecond-scale phase switches, while the snapshot feeds the
+	// runner's throughput meta, the live daemon gauges, and paperbench's
+	// trend/gate machinery. EnablePerf runs first so the profiler exists
+	// before any guard machinery schedules events.
+	{
+		inner := preRun
+		preRun = func(m *machine.Machine) {
+			m.EnablePerf()
+			if inner != nil {
+				inner(m)
+			}
+		}
+	}
 	m, reg, verr := apps.RunTracedWith(j.Cfg, j.Proto, app, metricsInterval, preRun)
 	if m == nil {
 		// No machine means construction failed (unknown protocol, bad
@@ -263,6 +285,10 @@ var simulate = func(j Job, res *Result, hk hooks) error {
 		res.SpanDigest = m.Causal.Digest()
 		res.MemDigest = m.MemDigest()
 		res.Completed = m.Completed()
+		if m.Perf != nil {
+			snap := m.Perf.Snapshot()
+			res.Perf = &snap
+		}
 		reord, delay, dup, drop := m.Net.FaultStats()
 		retx, _, outage, brown, _, _ := m.Net.TransportStats()
 		res.FaultsInjected = reord + delay + dup + drop + outage + brown

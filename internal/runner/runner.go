@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lazyrc/internal/perf"
 )
 
 // ResultStore is the persistence contract the runner reuses results
@@ -78,6 +80,11 @@ type Meta struct {
 	FailedJobs     int   `json:"failed_jobs"`
 	Canceled       int   `json:"canceled,omitempty"`
 	CacheRecovered int   `json:"cache_recovered,omitempty"`
+
+	// Perf aggregates the wall-clock phase profiles of every fresh
+	// execution (cache hits contribute nothing — they did no simulated
+	// work). Volatile provenance like WallMS, so zeroed in Stable.
+	Perf *perf.Snapshot `json:"perf,omitempty"`
 }
 
 // Stable returns a copy with the volatile fields zeroed — the form used
@@ -86,6 +93,7 @@ func (m Meta) Stable() Meta {
 	m.Workers = 0
 	m.WallMS = 0
 	m.Canceled = 0
+	m.Perf = nil
 	return m
 }
 
@@ -146,19 +154,19 @@ func (r *Runner) Do(ctx context.Context, job Job) *Result {
 	fp := job.Fingerprint()
 	r.account(func(*Meta) { r.pending++ })
 	defer r.account(func(*Meta) { r.pending-- })
-	r.emit(EventQueued, fp, job, 0, "")
+	r.emit(EventQueued, fp, job, 0, 0, "")
 	attached := false
 	for {
 		if err := ctx.Err(); err != nil {
 			res := canceledResult(fp, job, err)
-			r.emit(EventCanceled, fp, job, 0, res.Failure)
+			r.emit(EventCanceled, fp, job, 0, 0, res.Failure)
 			r.account(func(m *Meta) { m.Canceled++ })
 			return res
 		}
 		r.mu.Lock()
 		if res, ok := r.done[fp]; ok {
 			r.mu.Unlock()
-			r.emit(EventDedup, fp, job, 0, "")
+			r.emit(EventDedup, fp, job, 0, 0, "")
 			return res
 		}
 		wait, ok := r.inflight[fp]
@@ -170,7 +178,7 @@ func (r *Runner) Do(ctx context.Context, job Job) *Result {
 		r.mu.Unlock()
 		if !attached {
 			attached = true
-			r.emit(EventDedup, fp, job, 0, "")
+			r.emit(EventDedup, fp, job, 0, 0, "")
 		}
 		select {
 		case <-wait:
@@ -198,10 +206,11 @@ func (r *Runner) Do(ctx context.Context, job Job) *Result {
 // channel afterwards.
 func (r *Runner) lead(ctx context.Context, fp string, job Job) *Result {
 	if r.store != nil {
+		lookStart := time.Now()
 		if cached, ok := r.store.Get(fp); ok {
 			cached.Cached = true
 			r.note(fmt.Sprintf("cached  %s", job))
-			r.emit(EventCached, fp, job, cached.ExecCycles, "")
+			r.emit(EventCached, fp, job, cached.ExecCycles, time.Since(lookStart).Nanoseconds(), "")
 			r.account(func(m *Meta) { m.CacheHits++ })
 			return cached
 		}
@@ -211,31 +220,33 @@ func (r *Runner) lead(ctx context.Context, fp string, job Job) *Result {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
 		res := canceledResult(fp, job, ctx.Err())
-		r.emit(EventCanceled, fp, job, 0, res.Failure)
+		r.emit(EventCanceled, fp, job, 0, 0, res.Failure)
 		r.account(func(m *Meta) { m.Canceled++ })
 		return res
 	}
 	r.note(fmt.Sprintf("running %s", job))
-	r.emit(EventRunning, fp, job, 0, "")
+	r.emit(EventRunning, fp, job, 0, 0, "")
 	hk := hooks{
 		ctx:   ctx,
 		every: r.HeartbeatEvery,
-		beat:  func(cycle uint64) { r.emit(EventHeartbeat, fp, job, cycle, "") },
+		beat:  func(cycle uint64) { r.emit(EventHeartbeat, fp, job, cycle, 0, "") },
 	}
 	if r.Emit == nil {
 		hk.beat = nil
 	}
+	execStart := time.Now()
 	res := execWith(job, hk)
+	execNS := time.Since(execStart).Nanoseconds()
 	<-r.sem
 	r.account(func(m *Meta) { m.Simulated++ })
 	switch {
 	case res.Canceled:
 		r.note(fmt.Sprintf("canceled %s", job))
-		r.emit(EventCanceled, fp, job, 0, res.Failure)
+		r.emit(EventCanceled, fp, job, 0, execNS, res.Failure)
 		r.account(func(m *Meta) { m.Canceled++ })
 	case res.Failed():
 		r.note(fmt.Sprintf("FAILED  %s: %s", job, res.Failure))
-		r.emit(EventFailed, fp, job, 0, res.Failure)
+		r.emit(EventFailed, fp, job, 0, execNS, res.Failure)
 		r.account(func(m *Meta) { m.FailedJobs++ })
 	default:
 		if r.store != nil {
@@ -243,7 +254,16 @@ func (r *Runner) lead(ctx context.Context, fp string, job Job) *Result {
 				r.note(fmt.Sprintf("cache write failed: %v", err))
 			}
 		}
-		r.emit(EventDone, fp, job, res.ExecCycles, "")
+		if res.Perf != nil {
+			snap := *res.Perf
+			r.account(func(m *Meta) {
+				if m.Perf == nil {
+					m.Perf = &perf.Snapshot{}
+				}
+				m.Perf.Add(snap)
+			})
+		}
+		r.emit(EventDone, fp, job, res.ExecCycles, execNS, "")
 	}
 	return res
 }

@@ -90,6 +90,9 @@ func (s *Store) Put(r *Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cp := *r
+	// Perf is json:"-" provenance: the persisted line drops it, so the
+	// in-memory copy must too, or a warm hit and a cold hit would differ.
+	cp.Perf = nil
 	s.mem[r.Fingerprint] = &cp
 	if _, err := s.f.Write(append(line, '\n')); err != nil {
 		s.writeErr = err

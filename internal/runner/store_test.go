@@ -36,8 +36,10 @@ func TestStoreRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("entry lost across reopen")
 	}
-	if !reflect.DeepEqual(got, res) {
-		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, res)
+	want := *res
+	want.Perf = nil // json:"-" provenance, never persisted
+	if !reflect.DeepEqual(got, &want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, &want)
 	}
 }
 
@@ -102,9 +104,11 @@ func TestStoreCorruptLineRecovery(t *testing.T) {
 	if s2.Recovered() != 3 {
 		t.Fatalf("recovered = %d, want 3", s2.Recovered())
 	}
-	for _, want := range []*Result{resA, resB} {
+	for _, fresh := range []*Result{resA, resB} {
+		want := *fresh
+		want.Perf = nil // json:"-" provenance, never persisted
 		got, ok := s2.Get(want.Fingerprint)
-		if !ok || !reflect.DeepEqual(got, want) {
+		if !ok || !reflect.DeepEqual(got, &want) {
 			t.Fatalf("entry %s not served after recovery", want.Fingerprint)
 		}
 	}

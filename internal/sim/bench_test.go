@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventHeapPushPop measures the scheduler's core data
+// structure: one push and one pop against a primed heap, the operation
+// pair every simulated event pays.
+//
+//	go test ./internal/sim -bench EventHeap -benchmem
+func BenchmarkEventHeapPushPop(b *testing.B) {
+	var h eventHeap
+	nop := func() {}
+	// Prime with a realistic standing population so the sift depth is
+	// representative (an idle heap would make both operations trivial).
+	for i := 0; i < 1024; i++ {
+		h.pushEv(event{at: Time(i*2654435761) % 1_000_000, seq: uint64(i), fn: nop})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.pushEv(event{at: Time(i*40503) % 1_000_000, seq: uint64(1024 + i), fn: nop})
+		h.popMin()
+	}
+}
+
+// BenchmarkEngineDispatch measures the full engine round trip per event:
+// schedule through the public API, then dispatch in Run — heap traffic
+// plus the run loop's bookkeeping (event counter, cancellation poll,
+// profiler branch).
+func BenchmarkEngineDispatch(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	nop := func() {}
+	b.ResetTimer()
+	const batch = 1024
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		base := e.Now()
+		for i := 0; i < n; i++ {
+			e.At(base+Time(i), nop)
+		}
+		e.Run()
+	}
+}

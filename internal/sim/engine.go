@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"lazyrc/internal/perf"
 )
 
 // Time is simulated time in processor cycles.
@@ -74,6 +76,8 @@ type Engine struct {
 	tied    []event // scratch for same-instant choice enumeration
 
 	tracer TaskTracer // nil: no causal-context propagation
+
+	prof *perf.Profiler // nil: no wall-clock phase accounting
 }
 
 // TaskTracer threads a causal context (a transaction id) through event
@@ -94,6 +98,13 @@ type TaskTracer interface {
 // SetTaskTracer attaches (or, with nil, detaches) a causal-context
 // tracer. Attach before Run.
 func (e *Engine) SetTaskTracer(t TaskTracer) { e.tracer = t }
+
+// SetProfiler attaches (or, with nil, detaches) a wall-clock phase
+// profiler. The run loop charges each event's execution to the dispatch
+// phase (background phase for background events); instrumented
+// subsystems narrow the attribution from inside the event. Purely
+// observational — the simulated schedule is unchanged.
+func (e *Engine) SetProfiler(p *perf.Profiler) { e.prof = p }
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
@@ -214,7 +225,7 @@ func (e *Engine) Run() {
 		}
 		e.now = ev.at
 		e.nEvents++
-		ev.fn()
+		e.exec(ev)
 	}
 	if e.stopped {
 		return
@@ -242,11 +253,27 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		e.now = ev.at
 		e.nEvents++
-		ev.fn()
+		e.exec(ev)
 	}
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// exec runs one event, charging its wall time to the profiler's default
+// phase for its kind when a profiler is attached.
+func (e *Engine) exec(ev event) {
+	if e.prof == nil {
+		ev.fn()
+		return
+	}
+	ph := perf.PhaseDispatch
+	if ev.bg {
+		ph = perf.PhaseBackground
+	}
+	prev := e.prof.Enter(ph)
+	ev.fn()
+	e.prof.Exit(prev)
 }
 
 func (e *Engine) deadlockReport() string {
